@@ -1,0 +1,68 @@
+// Experiment E8 — the Theorem 5.9 inequality chain and the busy-beaver
+// bracket (Theorems 2.2, 4.5, 5.9).
+//
+// Evaluates eta <= xi·n·beta·3^n <= 2^((2n+2)!) numerically (log-domain,
+// exact BigNat where materialisable) and prints the full BB(n) bracket:
+// construction lower bounds vs the triple-exponential leaderless ceiling
+// and the F_omega-level leaderful ceiling.
+#include <cstdio>
+
+#include "bounds/paper_bounds.hpp"
+#include "protocols/threshold.hpp"
+
+using namespace ppsc;
+
+int main() {
+    std::printf("=== E8: Theorem 5.9 chain — eta <= xi·n·beta·3^n <= 2^((2n+2)!) ===\n\n");
+    std::printf("%3s %16s %16s %18s %18s %7s\n", "n", "log2 xi", "log2 beta", "log2 lhs",
+                "log2 rhs", "holds");
+    for (std::size_t n = 2; n <= 8; ++n) {
+        const auto chain = bounds::theorem59_chain(n);
+        auto log2_str = [](const LogNum& v) {
+            char buffer[40];
+            if (v.is_infinite())
+                std::snprintf(buffer, sizeof buffer, "inf");
+            else
+                std::snprintf(buffer, sizeof buffer, "%.4Lg", v.log2_value());
+            return std::string(buffer);
+        };
+        std::printf("%3zu %16s %16s %18s %18s %7s\n", n, log2_str(chain.xi).c_str(),
+                    log2_str(chain.beta).c_str(), log2_str(chain.lhs).c_str(),
+                    log2_str(chain.rhs).c_str(), chain.holds ? "yes" : "NO");
+    }
+
+    std::printf("\nexact beta(n) (Definition 3), where materialisable:\n");
+    for (std::size_t n = 1; n <= 4; ++n) {
+        const auto beta = bounds::small_basis_beta_exact(n);
+        if (beta) {
+            std::printf("  beta(%zu) = 2^%s, %llu bits, decimal %s\n", n,
+                        bounds::small_basis_exponent(n).to_string().c_str(),
+                        static_cast<unsigned long long>(beta->bit_length()),
+                        beta->to_display_string(20).c_str());
+        } else {
+            std::printf("  beta(%zu): exponent %s — beyond exact materialisation\n", n,
+                        bounds::small_basis_exponent(n).to_display_string(20).c_str());
+        }
+    }
+
+    std::printf("\nchain instantiated with actual protocol parameters (not worst-case |T|):\n");
+    for (const AgentCount eta : {3, 6, 13}) {
+        const Protocol p = protocols::collector_threshold(eta);
+        const auto chain = bounds::theorem59_chain_for(p);
+        std::printf("  collector_threshold(%lld): n=%zu, lhs=%s, rhs=%s, holds=%s\n",
+                    static_cast<long long>(eta), chain.n, chain.lhs.to_string().c_str(),
+                    chain.rhs.to_string().c_str(), chain.holds ? "yes" : "NO");
+    }
+
+    std::printf("\nthe busy-beaver bracket:\n");
+    std::printf("%4s %18s %22s %26s\n", "n", "BB(n) >= (constr)", "BB(n) <= 2^((2n+2)!)",
+                "BBL(n) >= 2^(2^n) [12]");
+    for (std::size_t n = 3; n <= 10; ++n) {
+        const auto lower = bounds::busy_beaver_lower(n);
+        std::printf("%4zu %18lld %22s %26s\n", n, static_cast<long long>(lower.best()),
+                    bounds::theta(n).to_string().c_str(),
+                    bounds::bbl_lower(n).to_string().c_str());
+    }
+    std::printf("\n%s\n", bounds::bbl_upper_description(10, 1).c_str());
+    return 0;
+}

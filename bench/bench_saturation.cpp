@@ -1,0 +1,123 @@
+// Experiment E6 — reaching 1-saturated configurations (Lemmas 5.3 / 5.4).
+//
+// Lemma 5.4: from input 3^n a 1-saturated configuration (every state
+// populated) is reachable within 3^n transitions.  This bench measures the
+// *actual* minimal saturating input and the BFS-shortest saturating
+// sequence for concrete protocols, against the 3^n guarantee.
+#include <cstdio>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "core/protocol.hpp"
+#include "protocols/threshold.hpp"
+
+using namespace ppsc;
+
+namespace {
+
+struct Saturation {
+    AgentCount input = 0;       ///< minimal input with a reachable 1-saturated config
+    std::size_t depth = 0;      ///< BFS-shortest saturating sequence from it
+    std::size_t explored = 0;
+};
+
+/// BFS from IC(input) until a 1-saturated configuration is found.
+std::optional<std::size_t> shortest_saturation(const Protocol& protocol, AgentCount input,
+                                               std::size_t budget, std::size_t& explored) {
+    const Config root = protocol.initial_config(input);
+    if (root.is_saturated(1)) return 0;
+    std::unordered_map<Config, std::size_t, ConfigHash> depth{{root, 0}};
+    std::deque<Config> queue{root};
+    while (!queue.empty()) {
+        const Config current = queue.front();
+        queue.pop_front();
+        const std::size_t d = depth.at(current);
+        const auto support = current.support();
+        for (std::size_t i = 0; i < support.size(); ++i) {
+            for (std::size_t j = i; j < support.size(); ++j) {
+                if (i == j && current[support[i]] < 2) continue;
+                for (const TransitionId rule :
+                     protocol.rules_for_pair(support[i], support[j])) {
+                    const Transition& t =
+                        protocol.transitions()[static_cast<std::size_t>(rule)];
+                    Config next = protocol.fire(current, t);
+                    if (depth.contains(next)) continue;
+                    if (next.is_saturated(1)) {
+                        explored += depth.size();
+                        return d + 1;
+                    }
+                    depth.emplace(next, d + 1);
+                    if (depth.size() > budget) {
+                        explored += depth.size();
+                        return std::nullopt;  // budget; caller reports honestly
+                    }
+                    queue.push_back(std::move(next));
+                }
+            }
+        }
+    }
+    explored += depth.size();
+    return std::nullopt;
+}
+
+std::optional<Saturation> find_saturation(const Protocol& protocol, AgentCount max_input,
+                                          std::size_t budget) {
+    Saturation result;
+    for (AgentCount input = 2; input <= max_input; ++input) {
+        const auto depth = shortest_saturation(protocol, input, budget, result.explored);
+        if (depth) {
+            result.input = input;
+            result.depth = *depth;
+            return result;
+        }
+    }
+    return std::nullopt;
+}
+
+std::uint64_t pow3(std::size_t n) {
+    std::uint64_t v = 1;
+    for (std::size_t i = 0; i < n && v < (1ull << 50); ++i) v *= 3;
+    return v;
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== E6: reaching 1-saturated configurations (Lemma 5.4) ===\n\n");
+    std::printf("%-26s %4s %12s %14s %12s %12s\n", "protocol", "n", "bound 3^n",
+                "min sat input", "seq length", "explored");
+
+    struct Row {
+        const char* name;
+        Protocol protocol;
+    };
+    Row rows[] = {
+        {"unary_threshold(2)", protocols::unary_threshold(2)},
+        {"unary_threshold(3)", protocols::unary_threshold(3)},
+        {"unary_threshold(4)", protocols::unary_threshold(4)},
+        {"binary_threshold_power(2)", protocols::binary_threshold_power(2)},
+        {"binary_threshold_power(3)", protocols::binary_threshold_power(3)},
+        {"collector_threshold(3)", protocols::collector_threshold(3)},
+        {"collector_threshold(5)", protocols::collector_threshold(5)},
+        {"collector_threshold(6)", protocols::collector_threshold(6)},
+    };
+    for (auto& row : rows) {
+        const std::size_t n = row.protocol.num_states();
+        const auto saturation = find_saturation(row.protocol, 40, 400'000);
+        if (saturation) {
+            std::printf("%-26s %4zu %12llu %14lld %12zu %12zu\n", row.name, n,
+                        static_cast<unsigned long long>(pow3(n)),
+                        static_cast<long long>(saturation->input), saturation->depth,
+                        saturation->explored);
+        } else {
+            std::printf("%-26s %4zu %12llu %14s %12s %12s\n", row.name, n,
+                        static_cast<unsigned long long>(pow3(n)), "none<=40", "-", "-");
+        }
+    }
+    std::printf("\nshape check: actual saturating inputs and sequence lengths are tiny\n"
+                "(roughly n) against the 3^n guarantee — Lemma 5.4 is worst-case.\n"
+                "note: leaderless protocols can always saturate (Lemma 5.3 argument);\n"
+                "a 'none' row would indicate a dead state, i.e. a protocol bug.\n");
+    return 0;
+}

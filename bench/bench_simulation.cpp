@@ -1,0 +1,104 @@
+// Experiment E10 — simulator throughput and convergence-time scaling.
+//
+// google-benchmark microbenchmarks for the hot paths (interaction steps,
+// exhaustive verification) followed by the convergence-time series: mean
+// parallel time to stable consensus as the population grows, for the
+// succinct threshold protocol — the simulation-side context for the
+// paper's introduction (time/state trade-offs).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "protocols/threshold.hpp"
+#include "sim/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "verify/verifier.hpp"
+
+using namespace ppsc;
+
+namespace {
+
+void BM_SimulatorStep(benchmark::State& state) {
+    const Protocol protocol = protocols::collector_threshold(1 << 20);
+    const Simulator simulator(protocol);
+    Config config = protocol.initial_config(static_cast<AgentCount>(state.range(0)));
+    Rng rng(11);
+    for (auto _ : state) {
+        simulator.step(config, rng);
+        benchmark::DoNotOptimize(config);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_FullRunToConsensus(benchmark::State& state) {
+    const Protocol protocol = protocols::collector_threshold(50);
+    const Simulator simulator(protocol);
+    std::uint64_t seed = 1;
+    for (auto _ : state) {
+        Rng rng(seed++);
+        const SimulationResult result =
+            simulator.run_input(static_cast<AgentCount>(state.range(0)), rng);
+        benchmark::DoNotOptimize(result.interactions);
+    }
+}
+BENCHMARK(BM_FullRunToConsensus)->Arg(256)->Arg(1024);
+
+void BM_ExhaustiveVerification(benchmark::State& state) {
+    const Protocol protocol = protocols::unary_threshold(3);
+    const Verifier verifier(protocol);
+    for (auto _ : state) {
+        const InputVerdict verdict = verifier.verify_input(static_cast<AgentCount>(state.range(0)));
+        benchmark::DoNotOptimize(verdict.explored_nodes);
+    }
+}
+BENCHMARK(BM_ExhaustiveVerification)->Arg(6)->Arg(10)->Arg(14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    auto print_rows = [](const std::vector<ConvergenceRow>& rows) {
+        std::printf("%10s %8s %16s %16s %16s %9s\n", "population", "runs", "mean par.time",
+                    "stddev", "max", "correct");
+        for (const auto& row : rows) {
+            std::printf("%10lld %5llu/%llu %16.1f %16.1f %16.1f %8.0f%%\n",
+                        static_cast<long long>(row.population),
+                        static_cast<unsigned long long>(row.converged_runs),
+                        static_cast<unsigned long long>(row.runs), row.mean_parallel_time,
+                        row.stddev_parallel_time, row.max_parallel_time,
+                        100.0 * row.correct_fraction);
+        }
+    };
+
+    std::printf("\n=== E10a: population scaling, fixed eta = 100 ===\n\n");
+    const Protocol protocol = protocols::collector_threshold(100);
+    ConvergenceSweepOptions options;
+    options.runs_per_size = 5;
+    options.simulation.max_interactions = 500'000'000;
+    print_rows(convergence_sweep(
+        protocol, {128, 256, 512, 1024, 2048, 4096},
+        [](AgentCount i) { return i >= 100 ? 1 : 0; }, options));
+    std::printf("\nshape: for fixed eta, larger populations converge *faster* per parallel\n"
+                "unit — surplus tokens make a threshold witness appear early.\n");
+
+    std::printf("\n=== E10b: threshold scaling, population = 1.25·eta (the hard regime) ===\n\n");
+    std::printf("%8s %10s %16s\n", "eta", "population", "mean par.time");
+    for (const AgentCount eta : {16, 32, 64, 128, 256, 512}) {
+        const Protocol p = protocols::collector_threshold(eta);
+        ConvergenceSweepOptions sweep;
+        sweep.runs_per_size = 5;
+        sweep.simulation.max_interactions = 500'000'000;
+        const auto rows = convergence_sweep(
+            p, {eta + eta / 4}, [eta](AgentCount i) { return i >= eta ? 1 : 0; }, sweep);
+        std::printf("%8lld %10lld %16.1f\n", static_cast<long long>(eta),
+                    static_cast<long long>(rows[0].population), rows[0].mean_parallel_time);
+    }
+    std::printf("\nshape: near the threshold the token-merging phase dominates and parallel\n"
+                "time grows superlinearly in eta — the time/state trade-off the fast\n"
+                "O(polylog) protocols cited in the paper's introduction buy off with many\n"
+                "more states.\n");
+    return 0;
+}

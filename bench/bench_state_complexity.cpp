@@ -1,0 +1,44 @@
+// Experiment E2 — state complexity of x >= eta across constructions
+// (Theorem 2.2 context).
+//
+// Prints STATE(eta) upper bounds realised by the library's constructions
+// against the paper's asymptotic landscape: O(log eta) leaderless upper
+// bound [12], Ω(log log eta) leaderless lower bound (Theorem 5.9), and the
+// busy-beaver view BB(n) >= 2^(n-2) via the binary family.
+#include <cmath>
+#include <cstdio>
+
+#include "bounds/paper_bounds.hpp"
+#include "protocols/threshold.hpp"
+
+using namespace ppsc;
+
+int main() {
+    std::printf("=== E2: state complexity of x >= eta ===\n\n");
+    std::printf("%12s %12s %12s %14s %14s\n", "eta", "unary |Q|", "collector |Q|",
+                "4*log2(eta)+4", "loglog eta");
+    const AgentCount etas[] = {2,    3,     5,      10,      100,
+                               1000, 65536, 1000000, 1 << 28, (AgentCount{1} << 30) - 1};
+    for (const AgentCount eta : etas) {
+        const double log2eta = std::log2(static_cast<double>(eta));
+        std::printf("%12lld %12lld %12zu %14.1f %14.2f\n", static_cast<long long>(eta),
+                    static_cast<long long>(eta + 1), protocols::collector_threshold_states(eta),
+                    4 * log2eta + 4, std::log2(std::max(1.0, log2eta)));
+    }
+
+    std::printf("\nbusy-beaver view: largest eta computable with n states "
+                "(construction lower bounds)\n");
+    std::printf("%4s %10s %12s %14s %10s\n", "n", "unary", "binary", "collector", "2^(n-2)");
+    for (std::size_t n = 3; n <= 16; ++n) {
+        const auto lower = bounds::busy_beaver_lower(n);
+        std::printf("%4zu %10lld %12lld %14lld %10lld\n", n,
+                    static_cast<long long>(lower.unary_eta),
+                    static_cast<long long>(lower.binary_eta),
+                    static_cast<long long>(lower.collector_eta),
+                    static_cast<long long>(n >= 2 ? (AgentCount{1} << (n - 2)) : 0));
+    }
+    std::printf("\nshape check (paper): leaderless constructions give BB(n) = 2^Θ(n);\n"
+                "Theorem 5.9 caps BB(n) at 2^((2n+2)!) — doubly exponential gap that\n"
+                "matches the open Ω(log log eta) vs O(log eta) state-complexity gap.\n");
+    return 0;
+}

@@ -1,0 +1,50 @@
+// Majority voting with 4-state sensors.
+//
+//   $ ./majority_vote
+//
+// The classic population-protocol demo: anonymous sensors vote A or B and
+// must agree whether A holds a strict majority.  Shows exhaustive
+// verification over all small electorates and simulated accuracy at scale,
+// including the near-tie regime where convergence is slowest.
+#include <cstdio>
+
+#include "protocols/majority.hpp"
+#include "sim/simulator.hpp"
+#include "verify/verifier.hpp"
+
+int main() {
+    using namespace ppsc;
+
+    const Protocol protocol = protocols::majority();
+    std::printf("%s\n", protocol.to_text().c_str());
+
+    // Exhaustive verification over every electorate with up to 10 voters.
+    const Verifier verifier(protocol);
+    const PredicateCheck check = verifier.check_predicate_all_tuples(Predicate::majority(), 10);
+    std::printf("exhaustively verified on %zu electorates up to 10 voters: %s\n\n",
+                check.inputs_checked, check.holds ? "CORRECT" : "WRONG");
+
+    // Simulated elections.
+    const Simulator simulator(protocol);
+    std::printf("%6s %6s %9s %14s %8s\n", "A", "B", "expected", "parallel time", "verdict");
+    struct Election {
+        AgentCount a, b;
+    };
+    const Election elections[] = {{600, 400}, {510, 490}, {501, 499}, {500, 500}, {499, 501}};
+    for (const auto& [a, b] : elections) {
+        Rng rng(7);
+        const AgentCount input[] = {a, b};
+        SimulationOptions options;
+        options.max_interactions = 200'000'000;
+        const SimulationResult result =
+            simulator.run(protocol.initial_config(input), rng, options);
+        const char* verdict = "timeout";
+        if (result.converged && result.output) verdict = *result.output ? "A wins" : "no A maj";
+        std::printf("%6lld %6lld %9s %14.1f %8s\n", static_cast<long long>(a),
+                    static_cast<long long>(b), a > b ? "A wins" : "no A maj",
+                    result.parallel_time, verdict);
+    }
+    std::printf("\nnote: ties and near-ties converge much more slowly — the\n"
+                "time/state trade-off that motivates the state-complexity question.\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+// Compiling Presburger predicates to population protocols.
+//
+//   $ ./presburger_compiler
+//
+// Population protocols compute exactly the Presburger predicates ([8] in
+// the paper).  This example compiles a few formulas, reports the state
+// counts (the very quantity the paper's state-complexity question is
+// about), and verifies each compiled protocol exhaustively.
+#include <cstdio>
+
+#include "protocols/presburger.hpp"
+#include "verify/verifier.hpp"
+
+int main() {
+    using namespace ppsc;
+
+    struct Case {
+        Predicate predicate;
+        AgentCount max_population;
+    };
+    const Case cases[] = {
+        {Predicate::threshold({1}, 3), 8},
+        {Predicate::majority(), 7},
+        {Predicate::modulo({1, 2}, 3, 1), 6},
+        {Predicate::conjunction(Predicate::threshold({1}, 2), Predicate::modulo({1}, 2, 0)), 7},
+        {Predicate::negation(Predicate::threshold({1, -1}, 1)), 6},
+    };
+
+    std::printf("%-42s %8s %10s %10s\n", "predicate", "states", "verified", "inputs");
+    for (const auto& [predicate, max_population] : cases) {
+        const Protocol protocol = protocols::compile_presburger(predicate);
+        const Verifier verifier(protocol);
+        const PredicateCheck check =
+            verifier.check_predicate_all_tuples(predicate, max_population);
+        std::printf("%-42s %8zu %10s %10zu\n", predicate.to_string().c_str(),
+                    protocol.num_states(), check.holds ? "CORRECT" : "WRONG",
+                    check.inputs_checked);
+    }
+
+    std::printf("\nthe compiler is correct but not succinct: products multiply state\n"
+                "counts, while dedicated constructions (see flock_of_birds) reach the\n"
+                "same predicates with exponentially fewer states — the gap the paper's\n"
+                "lower bounds constrain.\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+#include "bounds/paper_bounds.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "protocols/threshold.hpp"
+
+namespace ppsc::bounds {
+
+BigNat small_basis_exponent(std::size_t n) {
+    return BigNat(2) * BigNat::factorial(2 * n + 1) + BigNat(1);
+}
+
+LogNum small_basis_beta(std::size_t n) {
+    return LogNum::power_of_two(small_basis_exponent(n));
+}
+
+std::optional<BigNat> small_basis_beta_exact(std::size_t n, std::uint64_t max_bits) {
+    const BigNat exponent = small_basis_exponent(n);
+    if (exponent > BigNat(max_bits)) return std::nullopt;
+    return BigNat::power_of_two(exponent.to_u64());
+}
+
+LogNum theta(std::size_t n) {
+    return LogNum::power_of_two(BigNat::factorial(2 * n + 2));
+}
+
+BigNat max_transitions(std::size_t n) {
+    // n(n+1)/2 pre-pairs, each with n(n+1)/2 − 1 non-silent successors.
+    const BigNat p = BigNat(static_cast<std::uint64_t>(n) * (n + 1) / 2);
+    return p * (p - BigNat(1));
+}
+
+LogNum worst_case_xi(std::size_t n) {
+    // ξ ≤ 2(2n⁴+1)^n, the estimate used in the proof of Theorem 5.9.
+    const std::uint64_t n4 = static_cast<std::uint64_t>(n) * n * n * n;
+    return LogNum::from_u64(2) * LogNum::from_u64(2 * n4 + 1).pow(static_cast<long double>(n));
+}
+
+Theorem59Chain theorem59_chain(std::size_t n) {
+    Theorem59Chain chain;
+    chain.n = n;
+    chain.xi = worst_case_xi(n);
+    chain.beta = small_basis_beta(n);
+    const LogNum three_to_n = LogNum::from_u64(3).pow(static_cast<long double>(n));
+    chain.lhs = chain.xi * LogNum::from_u64(n) * chain.beta * three_to_n;
+    chain.rhs = theta(n);
+    chain.holds = chain.rhs.is_infinite() || !(chain.lhs > chain.rhs);
+    return chain;
+}
+
+Theorem59Chain theorem59_chain_for(const Protocol& protocol) {
+    const std::size_t n = protocol.num_states();
+    Theorem59Chain chain;
+    chain.n = n;
+    // Actual ξ of the protocol: 2(2|T|+1)^|Q|.
+    chain.xi = LogNum::from_u64(2) *
+               LogNum::from_u64(2 * protocol.num_transitions() + 1)
+                   .pow(static_cast<long double>(n));
+    chain.beta = small_basis_beta(n);
+    const LogNum three_to_n = LogNum::from_u64(3).pow(static_cast<long double>(n));
+    chain.lhs = chain.xi * LogNum::from_u64(n) * chain.beta * three_to_n;
+    chain.rhs = theta(n);
+    chain.holds = chain.rhs.is_infinite() || !(chain.lhs > chain.rhs);
+    return chain;
+}
+
+AgentCount BusyBeaverLower::best() const noexcept {
+    return std::max({unary_eta, binary_eta, collector_eta});
+}
+
+BusyBeaverLower busy_beaver_lower(std::size_t n) {
+    if (n < 2) throw std::invalid_argument("busy_beaver_lower: n must be >= 2");
+    BusyBeaverLower lower;
+    lower.n = n;
+    lower.unary_eta = static_cast<AgentCount>(n) - 1;
+    lower.binary_eta = n >= 2 && n - 2 < 62 ? (AgentCount{1} << (n - 2)) : 0;
+    // Largest η whose collector protocol fits in n states.  The state count
+    // is k + popcount(η) + 2 for η ≥ 2 (k = bit length − 1), so for each k
+    // the best η packs its allowed popcount into the top bits.
+    AgentCount best_collector =
+        protocols::collector_threshold_states(1) <= n ? 1 : 0;
+    for (std::size_t k = 0; k <= 38; ++k) {
+        if (k + 3 > n) break;
+        const std::size_t popcount_budget = std::min<std::size_t>(n - 2 - k, k + 1);
+        const AgentCount all_ones = (AgentCount{2} << k) - 1;  // 2^(k+1) − 1
+        const auto clear = static_cast<AgentCount>(k + 1 - popcount_budget);
+        const AgentCount eta = (all_ones >> clear) << clear;
+        if (protocols::collector_threshold_states(eta) <= n)
+            best_collector = std::max(best_collector, eta);
+    }
+    lower.collector_eta = best_collector;
+    return lower;
+}
+
+LogNum bbl_lower(std::size_t n) {
+    // Ω(2^(2^n)) from [12]; for n ≥ ~60 even the exponent leaves u64.
+    return LogNum::power_of_two(BigNat::power_of_two(n));
+}
+
+std::string bbl_upper_description(std::size_t n, std::size_t leaders) {
+    std::ostringstream os;
+    os << "BBL(" << n << ") < F_{" << leaders << ",theta(" << n << ")}(" << n
+       << ") at level F_omega of the Fast Growing Hierarchy (Theorem 4.5), "
+       << "with theta(" << n << ") = " << theta(n).to_string();
+    return os.str();
+}
+
+}  // namespace ppsc::bounds

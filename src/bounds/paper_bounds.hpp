@@ -1,0 +1,87 @@
+// The paper's quantitative bounds as executable formulas.
+//
+//   * β(n)  — small-basis constant 2^(2(2n+1)!+1) (Definition 3);
+//   * ϑ(n)  — basis-size bound 2^((2n+2)!) (Lemma 3.2);
+//   * ξ(P)  — Pottier constant 2(2|T|+1)^|Q| (Definition 6; in
+//             diophantine/realisable.hpp for concrete protocols, here in
+//             worst-case-over-n form);
+//   * Theorem 5.9 — η ≤ ξ·n·β·3^n ≤ 2^((2n+2)!) for leaderless protocols;
+//   * Theorem 2.2 — BB(n) ∈ Ω(2^n), BBL(n) ∈ Ω(2^(2^n)) (lower bounds via
+//     explicit constructions, cited from [12]);
+//   * Theorem 4.5 — BBL(n) < F_{ℓ,ϑ(n)} at level F_ω (symbolic; evaluated
+//     with saturation in wqo/fast_growing.hpp).
+//
+// Everything astronomical is carried in LogNum; exact BigNat variants are
+// provided where the bit count is physically materialisable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "support/bignat.hpp"
+#include "support/lognum.hpp"
+
+namespace ppsc::bounds {
+
+/// Exponent of β: 2·(2n+1)! + 1, exact.
+BigNat small_basis_exponent(std::size_t n);
+
+/// β(n) = 2^(2(2n+1)!+1) in log-domain (saturates to inf around n ≥ 8).
+LogNum small_basis_beta(std::size_t n);
+
+/// β(n) exactly, when the result fits in max_bits bits (n ≤ 4 by default).
+std::optional<BigNat> small_basis_beta_exact(std::size_t n,
+                                             std::uint64_t max_bits = 1u << 23);
+
+/// ϑ(n) = 2^((2n+2)!) — Lemma 3.2's bound on the number of basis elements,
+/// which coincides with Theorem 5.9's final bound.
+LogNum theta(std::size_t n);
+
+/// Worst-case number of non-silent transitions of an n-state protocol:
+/// each of the n(n+1)/2 pre-pairs may map to any of the n(n+1)/2 result
+/// pairs (minus the silent one each).
+BigNat max_transitions(std::size_t n);
+
+/// Worst-case Pottier constant over n-state protocols, following the
+/// paper's estimate ξ ≤ 2(2n⁴+1)^n (it uses |T| ≤ n⁴).
+LogNum worst_case_xi(std::size_t n);
+
+/// The two sides of Theorem 5.9 and whether the inequality holds.
+struct Theorem59Chain {
+    std::size_t n = 0;
+    LogNum xi;          ///< worst-case ξ
+    LogNum beta;        ///< β(n)
+    LogNum lhs;         ///< ξ·n·β·3^n
+    LogNum rhs;         ///< 2^((2n+2)!)
+    bool holds = false; ///< lhs ≤ rhs (or rhs saturated)
+};
+
+/// Evaluates the chain with the paper's worst-case ξ.
+Theorem59Chain theorem59_chain(std::size_t n);
+
+/// Evaluates the chain with the given protocol's actual ξ and n.
+Theorem59Chain theorem59_chain_for(const Protocol& protocol);
+
+/// Theorem 2.2 lower-bound witnesses (leaderless): the largest η our
+/// constructions reach with at most n states.
+struct BusyBeaverLower {
+    std::size_t n = 0;
+    AgentCount unary_eta = 0;      ///< unary family: η = n − 1
+    AgentCount binary_eta = 0;     ///< P'_k family: η = 2^(n−2)
+    AgentCount collector_eta = 0;  ///< best collector_threshold fit
+    AgentCount best() const noexcept;
+};
+
+/// Computes the construction-based lower bounds for BB(n).  n ≥ 2.
+BusyBeaverLower busy_beaver_lower(std::size_t n);
+
+/// Theorem 2.2 with leaders: BBL(n) ∈ Ω(2^(2^n)) — the cited bound of
+/// [12], as a LogNum.
+LogNum bbl_lower(std::size_t n);
+
+/// Human-readable statement of the Theorem 4.5 upper bound for BBL(n).
+std::string bbl_upper_description(std::size_t n, std::size_t leaders);
+
+}  // namespace ppsc::bounds

@@ -1,0 +1,70 @@
+#include "core/parikh.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace ppsc {
+
+std::int64_t parikh_size(const ParikhImage& parikh) {
+    return std::accumulate(parikh.begin(), parikh.end(), std::int64_t{0});
+}
+
+ParikhImage parikh_of_sequence(const Protocol& protocol,
+                               std::span<const TransitionId> sequence) {
+    ParikhImage parikh(protocol.num_transitions(), 0);
+    for (const TransitionId t : sequence) parikh.at(static_cast<std::size_t>(t)) += 1;
+    return parikh;
+}
+
+std::vector<std::int64_t> parikh_displacement(const Protocol& protocol,
+                                              const ParikhImage& parikh) {
+    if (parikh.size() != protocol.num_transitions())
+        throw std::invalid_argument("parikh_displacement: Parikh image has wrong dimension");
+    std::vector<std::int64_t> delta(protocol.num_states(), 0);
+    const auto transitions = protocol.transitions();
+    for (std::size_t i = 0; i < parikh.size(); ++i) {
+        const std::int64_t count = parikh[i];
+        if (count == 0) continue;
+        if (count < 0)
+            throw std::invalid_argument("parikh_displacement: negative multiplicity");
+        const Transition& t = transitions[i];
+        delta[static_cast<std::size_t>(t.pre1)] -= count;
+        delta[static_cast<std::size_t>(t.pre2)] -= count;
+        delta[static_cast<std::size_t>(t.post1)] += count;
+        delta[static_cast<std::size_t>(t.post2)] += count;
+    }
+    return delta;
+}
+
+std::vector<std::int64_t> apply_parikh(const Config& config, const Protocol& protocol,
+                                       const ParikhImage& parikh) {
+    std::vector<std::int64_t> result = parikh_displacement(protocol, parikh);
+    for (std::size_t q = 0; q < result.size(); ++q)
+        result[q] += config[static_cast<StateId>(q)];
+    return result;
+}
+
+bool is_potentially_realisable(const Protocol& protocol, const ParikhImage& parikh) {
+    if (protocol.input_variables().size() != 1)
+        throw std::invalid_argument(
+            "is_potentially_realisable: protocol must have exactly one input variable");
+    const StateId input = protocol.input_state(0);
+    const std::vector<std::int64_t> delta = parikh_displacement(protocol, parikh);
+    for (std::size_t q = 0; q < delta.size(); ++q) {
+        if (static_cast<StateId>(q) == input) continue;
+        if (protocol.leaders()[static_cast<StateId>(q)] + delta[q] < 0) return false;
+    }
+    return true;
+}
+
+AgentCount minimal_realising_input(const Protocol& protocol, const ParikhImage& parikh) {
+    if (!is_potentially_realisable(protocol, parikh))
+        throw std::invalid_argument("minimal_realising_input: π is not potentially realisable");
+    const StateId input = protocol.input_state(0);
+    const std::vector<std::int64_t> delta = parikh_displacement(protocol, parikh);
+    const std::int64_t at_input =
+        protocol.leaders()[input] + delta[static_cast<std::size_t>(input)];
+    return at_input >= 0 ? 0 : -at_input;
+}
+
+}  // namespace ppsc

@@ -1,0 +1,46 @@
+// Parikh images and displacement arithmetic (Section 5.1 of the paper).
+//
+// The displacement Δt of a transition t = p,q ↦ p',q' is the vector
+// p'+q'−p−q ∈ Z^Q; the displacement of a multiset π of transitions is
+// Δπ = Σ_t π(t)·Δt.  "C =π⇒ C'" means C' = C + Δπ — a purely arithmetic
+// relation that ignores whether an actual firing order exists (Lemma 5.1
+// relates the two).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ppsc {
+
+/// Multiset of transitions π ∈ N^T, indexed by TransitionId.
+using ParikhImage = std::vector<std::int64_t>;
+
+/// |π| — the total number of transition occurrences.
+std::int64_t parikh_size(const ParikhImage& parikh);
+
+/// Parikh mapping of a firing sequence.
+ParikhImage parikh_of_sequence(const Protocol& protocol, std::span<const TransitionId> sequence);
+
+/// Δπ ∈ Z^Q.
+std::vector<std::int64_t> parikh_displacement(const Protocol& protocol,
+                                              const ParikhImage& parikh);
+
+/// C + Δπ as a signed vector (components may be negative; callers check).
+std::vector<std::int64_t> apply_parikh(const Config& config, const Protocol& protocol,
+                                       const ParikhImage& parikh);
+
+/// Definition 4: π is potentially realisable iff IC(i) =π⇒ C for some input
+/// i and configuration C ∈ N^Q.  For a single-input protocol this holds iff
+/// L(q) + Δπ(q) ≥ 0 for every non-input state q (the input state can always
+/// be padded by choosing i large).  Throws std::invalid_argument if the
+/// protocol does not have exactly one input variable.
+bool is_potentially_realisable(const Protocol& protocol, const ParikhImage& parikh);
+
+/// The smallest input i witnessing Definition 4 for a potentially
+/// realisable π, i.e. the least i with IC(i) + Δπ ≥ 0.
+AgentCount minimal_realising_input(const Protocol& protocol, const ParikhImage& parikh);
+
+}  // namespace ppsc

@@ -1,0 +1,222 @@
+#include "core/predicate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+struct Predicate::Node {
+    enum class Kind { kThreshold, kModulo, kNot, kAnd, kOr };
+
+    Kind kind;
+    std::vector<std::int64_t> coeffs;  // atoms only
+    std::int64_t constant = 0;         // threshold bound / modulo remainder
+    std::int64_t modulus = 0;          // modulo atoms only
+    std::shared_ptr<const Node> left;
+    std::shared_ptr<const Node> right;
+};
+
+Predicate Predicate::threshold(std::vector<std::int64_t> coeffs, std::int64_t constant) {
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kThreshold;
+    node->coeffs = std::move(coeffs);
+    node->constant = constant;
+    return Predicate(std::move(node));
+}
+
+Predicate Predicate::modulo(std::vector<std::int64_t> coeffs, std::int64_t modulus,
+                            std::int64_t remainder) {
+    if (modulus < 2) throw std::invalid_argument("Predicate::modulo: modulus must be >= 2");
+    if (remainder < 0 || remainder >= modulus)
+        throw std::invalid_argument("Predicate::modulo: remainder out of range");
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kModulo;
+    node->coeffs = std::move(coeffs);
+    node->constant = remainder;
+    node->modulus = modulus;
+    return Predicate(std::move(node));
+}
+
+Predicate Predicate::negation(Predicate inner) {
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kNot;
+    node->left = std::move(inner.node_);
+    return Predicate(std::move(node));
+}
+
+Predicate Predicate::conjunction(Predicate lhs, Predicate rhs) {
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kAnd;
+    node->left = std::move(lhs.node_);
+    node->right = std::move(rhs.node_);
+    return Predicate(std::move(node));
+}
+
+Predicate Predicate::disjunction(Predicate lhs, Predicate rhs) {
+    auto node = std::make_shared<Node>();
+    node->kind = Node::Kind::kOr;
+    node->left = std::move(lhs.node_);
+    node->right = std::move(rhs.node_);
+    return Predicate(std::move(node));
+}
+
+namespace {
+
+std::size_t node_arity(const Predicate::Node& node);
+
+std::size_t child_arity(const std::shared_ptr<const Predicate::Node>& child) {
+    return child ? node_arity(*child) : 0;
+}
+
+std::size_t node_arity(const Predicate::Node& node) {
+    using Kind = Predicate::Node::Kind;
+    switch (node.kind) {
+        case Kind::kThreshold:
+        case Kind::kModulo:
+            return node.coeffs.size();
+        case Kind::kNot:
+            return child_arity(node.left);
+        case Kind::kAnd:
+        case Kind::kOr:
+            return std::max(child_arity(node.left), child_arity(node.right));
+    }
+    PPSC_CHECK(false);
+}
+
+std::int64_t weighted_sum(const std::vector<std::int64_t>& coeffs,
+                          std::span<const AgentCount> input) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < coeffs.size() && i < input.size(); ++i)
+        sum += coeffs[i] * input[i];
+    return sum;
+}
+
+bool node_evaluate(const Predicate::Node& node, std::span<const AgentCount> input) {
+    using Kind = Predicate::Node::Kind;
+    switch (node.kind) {
+        case Kind::kThreshold:
+            return weighted_sum(node.coeffs, input) >= node.constant;
+        case Kind::kModulo: {
+            std::int64_t value = weighted_sum(node.coeffs, input) % node.modulus;
+            if (value < 0) value += node.modulus;
+            return value == node.constant;
+        }
+        case Kind::kNot:
+            return !node_evaluate(*node.left, input);
+        case Kind::kAnd:
+            return node_evaluate(*node.left, input) && node_evaluate(*node.right, input);
+        case Kind::kOr:
+            return node_evaluate(*node.left, input) || node_evaluate(*node.right, input);
+    }
+    PPSC_CHECK(false);
+}
+
+void node_print(const Predicate::Node& node, std::ostringstream& os) {
+    using Kind = Predicate::Node::Kind;
+    auto print_sum = [&os](const std::vector<std::int64_t>& coeffs) {
+        bool first = true;
+        for (std::size_t i = 0; i < coeffs.size(); ++i) {
+            if (coeffs[i] == 0) continue;
+            if (!first) os << (coeffs[i] > 0 ? " + " : " - ");
+            else if (coeffs[i] < 0) os << '-';
+            first = false;
+            const std::int64_t magnitude = coeffs[i] < 0 ? -coeffs[i] : coeffs[i];
+            if (magnitude != 1) os << magnitude << "·";
+            os << 'x' << i;
+        }
+        if (first) os << '0';
+    };
+    switch (node.kind) {
+        case Kind::kThreshold:
+            print_sum(node.coeffs);
+            os << " >= " << node.constant;
+            return;
+        case Kind::kModulo:
+            print_sum(node.coeffs);
+            os << " ≡ " << node.constant << " (mod " << node.modulus << ")";
+            return;
+        case Kind::kNot:
+            os << "¬(";
+            node_print(*node.left, os);
+            os << ')';
+            return;
+        case Kind::kAnd:
+            os << '(';
+            node_print(*node.left, os);
+            os << ") ∧ (";
+            node_print(*node.right, os);
+            os << ')';
+            return;
+        case Kind::kOr:
+            os << '(';
+            node_print(*node.left, os);
+            os << ") ∨ (";
+            node_print(*node.right, os);
+            os << ')';
+            return;
+    }
+}
+
+}  // namespace
+
+std::size_t Predicate::arity() const {
+    return node_arity(*node_);
+}
+
+Predicate::Kind Predicate::kind() const {
+    switch (node_->kind) {
+        case Node::Kind::kThreshold:
+            return Kind::kThreshold;
+        case Node::Kind::kModulo:
+            return Kind::kModulo;
+        case Node::Kind::kNot:
+            return Kind::kNot;
+        case Node::Kind::kAnd:
+            return Kind::kAnd;
+        case Node::Kind::kOr:
+            return Kind::kOr;
+    }
+    PPSC_CHECK(false);
+}
+
+const std::vector<std::int64_t>& Predicate::coefficients() const {
+    if (kind() != Kind::kThreshold && kind() != Kind::kModulo)
+        throw std::logic_error("Predicate::coefficients: not an atom");
+    return node_->coeffs;
+}
+
+std::int64_t Predicate::constant() const {
+    if (kind() != Kind::kThreshold && kind() != Kind::kModulo)
+        throw std::logic_error("Predicate::constant: not an atom");
+    return node_->constant;
+}
+
+std::int64_t Predicate::modulus() const {
+    if (kind() != Kind::kModulo) throw std::logic_error("Predicate::modulus: not a modulo atom");
+    return node_->modulus;
+}
+
+Predicate Predicate::left() const {
+    if (!node_->left) throw std::logic_error("Predicate::left: atom has no children");
+    return Predicate(node_->left);
+}
+
+Predicate Predicate::right() const {
+    if (!node_->right) throw std::logic_error("Predicate::right: no right child");
+    return Predicate(node_->right);
+}
+
+bool Predicate::evaluate(std::span<const AgentCount> input) const {
+    return node_evaluate(*node_, input);
+}
+
+std::string Predicate::to_string() const {
+    std::ostringstream os;
+    node_print(*node_, os);
+    return os.str();
+}
+
+}  // namespace ppsc

@@ -1,0 +1,79 @@
+// Presburger predicates over input multisets.
+//
+// Population protocols compute exactly the Presburger-definable predicates
+// (Angluin et al., cited as [8] in the paper).  Every Presburger predicate
+// is a boolean combination of threshold constraints Σ aᵢxᵢ ≥ c and modulo
+// constraints Σ aᵢxᵢ ≡ r (mod m); this class represents exactly that
+// normal form.  Predicates are immutable values (shared structure inside).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ppsc {
+
+class Predicate {
+public:
+    /// Σ coeffs[i]·x_i ≥ constant.
+    static Predicate threshold(std::vector<std::int64_t> coeffs, std::int64_t constant);
+
+    /// Σ coeffs[i]·x_i ≡ remainder (mod modulus).  Throws
+    /// std::invalid_argument unless modulus ≥ 2 and 0 ≤ remainder < modulus.
+    static Predicate modulo(std::vector<std::int64_t> coeffs, std::int64_t modulus,
+                            std::int64_t remainder);
+
+    /// The paper's central predicate family: x ≥ η over one variable.
+    static Predicate x_at_least(std::int64_t eta) { return threshold({1}, eta); }
+
+    /// Majority: x₀ > x₁  (i.e. x₀ − x₁ ≥ 1).
+    static Predicate majority() { return threshold({1, -1}, 1); }
+
+    static Predicate negation(Predicate inner);
+    static Predicate conjunction(Predicate lhs, Predicate rhs);
+    static Predicate disjunction(Predicate lhs, Predicate rhs);
+
+    /// Number of input variables (the max arity over all atoms).
+    std::size_t arity() const;
+
+    /// Evaluates at an input multiset (indexed by variable).  Inputs beyond
+    /// an atom's coefficient list contribute zero.
+    bool evaluate(std::span<const AgentCount> input) const;
+
+    /// Single-variable convenience.
+    bool evaluate(AgentCount x) const {
+        const AgentCount values[] = {x};
+        return evaluate(values);
+    }
+
+    std::string to_string() const;
+
+    /// Structural inspection — used by the Presburger-to-protocol compiler
+    /// (protocols/presburger.hpp) to walk the syntax tree.
+    enum class Kind { kThreshold, kModulo, kNot, kAnd, kOr };
+    Kind kind() const;
+    /// Atom coefficients (threshold/modulo only; throws otherwise).
+    const std::vector<std::int64_t>& coefficients() const;
+    /// Threshold constant / modulo remainder (atoms only; throws otherwise).
+    std::int64_t constant() const;
+    /// Modulo modulus (modulo atoms only; throws otherwise).
+    std::int64_t modulus() const;
+    /// Children (kNot: left only; kAnd/kOr: both; atoms: throws).
+    Predicate left() const;
+    Predicate right() const;
+
+    /// Implementation node (opaque; public only so implementation helpers
+    /// can name it).
+    struct Node;
+
+private:
+    explicit Predicate(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+    std::shared_ptr<const Node> node_;
+};
+
+}  // namespace ppsc

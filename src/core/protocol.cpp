@@ -1,0 +1,242 @@
+#include "core/protocol.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+namespace {
+
+/// Canonicalises an unordered pair (a, b) to a ≤ b.
+void sort_pair(StateId& a, StateId& b) noexcept {
+    if (a > b) std::swap(a, b);
+}
+
+}  // namespace
+
+std::size_t Protocol::pair_index(StateId p, StateId q) noexcept {
+    // p ≤ q required; index into the triangular pair table.
+    return static_cast<std::size_t>(q) * (static_cast<std::size_t>(q) + 1) / 2 +
+           static_cast<std::size_t>(p);
+}
+
+std::optional<StateId> Protocol::find_state(std::string_view name) const {
+    auto it = name_to_state_.find(std::string(name));
+    if (it == name_to_state_.end()) return std::nullopt;
+    return it->second;
+}
+
+std::span<const TransitionId> Protocol::rules_for_pair(StateId p, StateId q) const {
+    sort_pair(p, q);
+    const std::size_t idx = pair_index(p, q);
+    PPSC_CHECK(idx < pair_rules_.size());
+    return pair_rules_[idx];
+}
+
+bool Protocol::is_leaderless() const noexcept {
+    return leaders_.size() == 0;
+}
+
+Config Protocol::initial_config(std::span<const AgentCount> input) const {
+    if (input.size() != input_states_.size())
+        throw std::invalid_argument("Protocol::initial_config: input arity mismatch");
+    Config config = leaders_;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (input[i] < 0)
+            throw std::invalid_argument("Protocol::initial_config: negative input");
+        config.add(input_states_[i], input[i]);
+    }
+    if (config.size() < 2)
+        throw std::invalid_argument(
+            "Protocol::initial_config: configurations need at least two agents");
+    return config;
+}
+
+Config Protocol::initial_config(AgentCount i) const {
+    if (input_states_.size() != 1)
+        throw std::invalid_argument(
+            "Protocol::initial_config(i): protocol does not have exactly one input variable");
+    const AgentCount values[] = {i};
+    return initial_config(values);
+}
+
+std::optional<int> Protocol::consensus_output(const Config& config) const {
+    std::optional<int> verdict;
+    for (std::size_t q = 0; q < num_states(); ++q) {
+        if (config[static_cast<StateId>(q)] == 0) continue;
+        const int b = outputs_[q];
+        if (!verdict)
+            verdict = b;
+        else if (*verdict != b)
+            return std::nullopt;
+    }
+    return verdict;
+}
+
+bool Protocol::enabled(const Config& config, const Transition& t) const noexcept {
+    if (t.pre1 == t.pre2) return config[t.pre1] >= 2;
+    return config[t.pre1] >= 1 && config[t.pre2] >= 1;
+}
+
+Config Protocol::fire(Config config, const Transition& t) const {
+    config.add(t.pre1, -1);
+    config.add(t.pre2, -1);
+    config.add(t.post1, 1);
+    config.add(t.post2, 1);
+    return config;
+}
+
+std::vector<std::int64_t> Protocol::displacement(const Transition& t) const {
+    std::vector<std::int64_t> delta(num_states(), 0);
+    delta[static_cast<std::size_t>(t.pre1)] -= 1;
+    delta[static_cast<std::size_t>(t.pre2)] -= 1;
+    delta[static_cast<std::size_t>(t.post1)] += 1;
+    delta[static_cast<std::size_t>(t.post2)] += 1;
+    return delta;
+}
+
+std::string Protocol::to_text() const {
+    std::ostringstream os;
+    os << "Protocol with " << num_states() << " states, " << num_transitions()
+       << " non-silent transitions";
+    os << (is_leaderless() ? " (leaderless)\n" : " (with leaders)\n");
+    os << "  states:";
+    for (std::size_t q = 0; q < num_states(); ++q)
+        os << ' ' << names_[q] << "/" << static_cast<int>(outputs_[q]);
+    os << "\n  inputs:";
+    for (std::size_t i = 0; i < input_names_.size(); ++i)
+        os << ' ' << input_names_[i] << "->" << names_[static_cast<std::size_t>(input_states_[i])];
+    if (!is_leaderless()) os << "\n  leaders: " << leaders_.to_string(names_);
+    os << "\n  transitions:\n";
+    for (const Transition& t : transitions_) {
+        os << "    " << names_[static_cast<std::size_t>(t.pre1)] << ','
+           << names_[static_cast<std::size_t>(t.pre2)] << " -> "
+           << names_[static_cast<std::size_t>(t.post1)] << ','
+           << names_[static_cast<std::size_t>(t.post2)] << '\n';
+    }
+    return os.str();
+}
+
+std::string Protocol::to_dot() const {
+    std::ostringstream os;
+    os << "digraph protocol {\n  rankdir=LR;\n";
+    for (std::size_t q = 0; q < num_states(); ++q) {
+        os << "  q" << q << " [label=\"" << names_[q] << "\", shape="
+           << (outputs_[q] ? "doublecircle" : "circle") << "];\n";
+    }
+    for (const Transition& t : transitions_) {
+        // Render each transition as a pair of edges annotated with the partner.
+        os << "  q" << t.pre1 << " -> q" << t.post1 << " [label=\"with "
+           << names_[static_cast<std::size_t>(t.pre2)] << "\"];\n";
+        os << "  q" << t.pre2 << " -> q" << t.post2 << " [label=\"with "
+           << names_[static_cast<std::size_t>(t.pre1)] << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// ProtocolBuilder
+
+StateId ProtocolBuilder::add_state(std::string name, int output) {
+    if (output != 0 && output != 1)
+        throw std::invalid_argument("ProtocolBuilder::add_state: output must be 0 or 1");
+    if (name.empty()) throw std::invalid_argument("ProtocolBuilder::add_state: empty name");
+    if (name_to_state_.contains(name))
+        throw std::invalid_argument("ProtocolBuilder::add_state: duplicate state name '" + name +
+                                    "'");
+    const StateId id = static_cast<StateId>(names_.size());
+    name_to_state_.emplace(name, id);
+    names_.push_back(std::move(name));
+    outputs_.push_back(static_cast<std::uint8_t>(output));
+    return id;
+}
+
+void ProtocolBuilder::set_output(StateId state, int output) {
+    if (output != 0 && output != 1)
+        throw std::invalid_argument("ProtocolBuilder::set_output: output must be 0 or 1");
+    outputs_.at(static_cast<std::size_t>(state)) = static_cast<std::uint8_t>(output);
+}
+
+void ProtocolBuilder::add_transition(StateId p, StateId q, StateId p2, StateId q2) {
+    const auto n = static_cast<StateId>(names_.size());
+    for (const StateId s : {p, q, p2, q2}) {
+        if (s < 0 || s >= n)
+            throw std::invalid_argument("ProtocolBuilder::add_transition: unknown state id");
+    }
+    sort_pair(p, q);
+    sort_pair(p2, q2);
+    const Transition t{p, q, p2, q2};
+    if (t.is_silent()) return;  // silent transitions are implicit
+    const std::uint64_t packed = (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p)) << 48) |
+                                 (static_cast<std::uint64_t>(static_cast<std::uint16_t>(q)) << 32) |
+                                 (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p2)) << 16) |
+                                 static_cast<std::uint64_t>(static_cast<std::uint16_t>(q2));
+    if (!seen_transitions_.insert(packed).second) return;
+    transitions_.push_back(t);
+}
+
+void ProtocolBuilder::add_transition(std::string_view p, std::string_view q, std::string_view p2,
+                                     std::string_view q2) {
+    add_transition(require_state(p), require_state(q), require_state(p2), require_state(q2));
+}
+
+StateId ProtocolBuilder::require_state(std::string_view name) const {
+    auto it = name_to_state_.find(std::string(name));
+    if (it == name_to_state_.end())
+        throw std::invalid_argument("ProtocolBuilder: unknown state name '" + std::string(name) +
+                                    "'");
+    return it->second;
+}
+
+void ProtocolBuilder::set_input(std::string name, StateId state) {
+    if (state < 0 || static_cast<std::size_t>(state) >= names_.size())
+        throw std::invalid_argument("ProtocolBuilder::set_input: unknown state id");
+    for (const auto& existing : input_names_) {
+        if (existing == name)
+            throw std::invalid_argument("ProtocolBuilder::set_input: duplicate input variable '" +
+                                        name + "'");
+    }
+    input_names_.push_back(std::move(name));
+    input_states_.push_back(state);
+}
+
+void ProtocolBuilder::add_leaders(StateId state, AgentCount count) {
+    if (state < 0 || static_cast<std::size_t>(state) >= names_.size())
+        throw std::invalid_argument("ProtocolBuilder::add_leaders: unknown state id");
+    if (count <= 0) throw std::invalid_argument("ProtocolBuilder::add_leaders: count must be > 0");
+    leaders_.emplace_back(state, count);
+}
+
+Protocol ProtocolBuilder::build() && {
+    if (names_.empty()) throw std::invalid_argument("ProtocolBuilder::build: no states");
+    if (input_names_.empty())
+        throw std::invalid_argument("ProtocolBuilder::build: no input variable declared");
+
+    Protocol p;
+    p.names_ = std::move(names_);
+    p.outputs_ = std::move(outputs_);
+    p.transitions_ = std::move(transitions_);
+    p.input_names_ = std::move(input_names_);
+    p.input_states_ = std::move(input_states_);
+    p.name_to_state_ = std::move(name_to_state_);
+
+    Config leaders(p.names_.size());
+    for (const auto& [state, count] : leaders_) leaders.add(state, count);
+    p.leaders_ = std::move(leaders);
+
+    const std::size_t n = p.names_.size();
+    p.pair_rules_.assign(n * (n + 1) / 2, {});
+    for (std::size_t i = 0; i < p.transitions_.size(); ++i) {
+        const Transition& t = p.transitions_[i];
+        p.pair_rules_[Protocol::pair_index(t.pre1, t.pre2)].push_back(
+            static_cast<TransitionId>(i));
+    }
+    return p;
+}
+
+}  // namespace ppsc

@@ -1,0 +1,178 @@
+// The population protocol model (Section 2.2 of the paper).
+//
+// A protocol P = (Q, T, L, X, I, O):
+//   Q — finite set of states (indexed 0..n-1, with human-readable names);
+//   T — transitions, mapping unordered state pairs to unordered state pairs;
+//   L — leader multiset (empty for leaderless protocols);
+//   X — input variables;
+//   I — input mapping X → Q;
+//   O — output mapping Q → {0, 1}.
+//
+// Totality: the paper assumes every pair {p,q} enables at least one
+// transition.  We store only *non-silent* transitions; any pair without an
+// explicit rule implicitly has the silent transition p,q ↦ p,q, so every
+// Protocol built here is total by construction.
+//
+// Protocols are immutable after construction; build them with
+// ProtocolBuilder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace ppsc {
+
+/// One transition p,q ↦ p',q' in canonical form (pre1 ≤ pre2, post1 ≤ post2).
+struct Transition {
+    StateId pre1 = 0;
+    StateId pre2 = 0;
+    StateId post1 = 0;
+    StateId post2 = 0;
+
+    bool operator==(const Transition&) const noexcept = default;
+
+    bool is_silent() const noexcept { return pre1 == post1 && pre2 == post2; }
+};
+
+using TransitionId = std::int32_t;
+
+class ProtocolBuilder;
+
+class Protocol {
+public:
+    std::size_t num_states() const noexcept { return names_.size(); }
+    std::size_t num_transitions() const noexcept { return transitions_.size(); }
+
+    const std::string& state_name(StateId q) const { return names_.at(static_cast<std::size_t>(q)); }
+    std::span<const std::string> state_names() const noexcept { return names_; }
+
+    /// Looks up a state by name; nullopt if absent.
+    std::optional<StateId> find_state(std::string_view name) const;
+
+    /// O(q) ∈ {0,1}.
+    int output(StateId q) const { return outputs_.at(static_cast<std::size_t>(q)); }
+
+    /// All non-silent transitions, each with a stable TransitionId equal to
+    /// its index in this span (used by Parikh images).
+    std::span<const Transition> transitions() const noexcept { return transitions_; }
+
+    /// Non-silent successor pairs of the unordered pair {p, q} as indices
+    /// into transitions().  Empty span ⇒ the pair is silent.
+    std::span<const TransitionId> rules_for_pair(StateId p, StateId q) const;
+
+    /// True iff {p,q} has no non-silent rule.
+    bool pair_is_silent(StateId p, StateId q) const { return rules_for_pair(p, q).empty(); }
+
+    /// Leader multiset L (all-zero for leaderless protocols).
+    const Config& leaders() const noexcept { return leaders_; }
+    bool is_leaderless() const noexcept;
+
+    /// Input variables in declaration order.
+    std::span<const std::string> input_variables() const noexcept { return input_names_; }
+    StateId input_state(std::size_t var_index) const {
+        return input_states_.at(var_index);
+    }
+
+    /// IC(m) = L + Σ_x m(x)·I(x).  `input` is indexed like
+    /// input_variables().  Throws std::invalid_argument on size mismatch
+    /// or |IC(m)| < 2 (configurations have at least two agents).
+    Config initial_config(std::span<const AgentCount> input) const;
+
+    /// IC(i) for single-input protocols; throws if |X| != 1.
+    Config initial_config(AgentCount i) const;
+
+    /// O(C): 0 or 1 if all agents agree, nullopt if mixed or C empty.
+    std::optional<int> consensus_output(const Config& config) const;
+
+    /// Is transition `t` enabled at `config` (C ≥ pre)?
+    bool enabled(const Config& config, const Transition& t) const noexcept;
+
+    /// Fires `t` at `config` (C − pre + post).  Caller must ensure
+    /// enabledness; violations throw via Config arithmetic.
+    Config fire(Config config, const Transition& t) const;
+
+    /// Displacement Δt ∈ Z^Q of one transition (Section 5.1).
+    std::vector<std::int64_t> displacement(const Transition& t) const;
+
+    /// Human-readable multi-line description.
+    std::string to_text() const;
+
+    /// GraphViz rendering of the transition structure.
+    std::string to_dot() const;
+
+private:
+    friend class ProtocolBuilder;
+    Protocol() : leaders_(0) {}
+
+    static std::size_t pair_index(StateId p, StateId q) noexcept;
+
+    std::vector<std::string> names_;
+    std::vector<std::uint8_t> outputs_;
+    std::vector<Transition> transitions_;
+    std::vector<std::vector<TransitionId>> pair_rules_;  // by pair_index
+    std::vector<std::string> input_names_;
+    std::vector<StateId> input_states_;
+    Config leaders_;
+    std::unordered_map<std::string, StateId> name_to_state_;
+};
+
+/// Incremental, validating construction of protocols.
+///
+/// Example (the 2-state "at least one agent in A" detector):
+///     ProtocolBuilder b;
+///     auto a   = b.add_state("A", 1);
+///     auto x   = b.add_state("X", 0);
+///     b.add_transition(a, x, a, a);
+///     b.set_input("x", x);
+///     Protocol p = std::move(b).build();
+class ProtocolBuilder {
+public:
+    /// Declares a state. Throws std::invalid_argument on duplicate name or
+    /// output not in {0,1}.
+    StateId add_state(std::string name, int output);
+
+    /// Changes the output of an existing state.
+    void set_output(StateId state, int output);
+
+    /// Adds the transition {p,q} ↦ {p2,q2} (unordered on both sides).
+    /// Silent transitions are accepted and ignored; duplicates are merged.
+    void add_transition(StateId p, StateId q, StateId p2, StateId q2);
+
+    /// Name-based overload for readable construction code.
+    void add_transition(std::string_view p, std::string_view q, std::string_view p2,
+                        std::string_view q2);
+
+    /// Declares input variable `name` mapped to `state`.
+    void set_input(std::string name, StateId state);
+
+    /// Adds `count` leader agents in `state`.
+    void add_leaders(StateId state, AgentCount count);
+
+    std::size_t num_states() const noexcept { return names_.size(); }
+
+    /// Finalises the protocol. Throws std::invalid_argument if no states or
+    /// no input variable were declared.
+    Protocol build() &&;
+
+private:
+    StateId require_state(std::string_view name) const;
+
+    std::vector<std::string> names_;
+    std::vector<std::uint8_t> outputs_;
+    std::vector<Transition> transitions_;
+    std::unordered_set<std::uint64_t> seen_transitions_;  // packed canonical form
+    std::vector<std::string> input_names_;
+    std::vector<StateId> input_states_;
+    std::vector<std::pair<StateId, AgentCount>> leaders_;
+    std::unordered_map<std::string, StateId> name_to_state_;
+};
+
+}  // namespace ppsc

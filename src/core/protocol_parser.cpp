@@ -1,0 +1,120 @@
+#include "core/protocol_parser.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppsc {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+    throw std::invalid_argument("protocol parse error, line " + std::to_string(line) + ": " +
+                                message);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string token;
+    while (is >> token) {
+        if (token.front() == '#') break;  // comment until end of line
+        tokens.push_back(token);
+    }
+    return tokens;
+}
+
+}  // namespace
+
+Protocol parse_protocol(std::string_view text) {
+    ProtocolBuilder b;
+    std::vector<std::string> names;  // ProtocolBuilder has no name lookup pre-build
+    auto lookup = [&](const std::string& name, std::size_t line_no) -> StateId {
+        for (std::size_t q = 0; q < names.size(); ++q) {
+            if (names[q] == name) return static_cast<StateId>(q);
+        }
+        fail(line_no, "unknown state '" + name + "'");
+    };
+
+    std::istringstream input{std::string(text)};
+    std::string line;
+    std::size_t line_number = 0;
+    bool any_input = false;
+    while (std::getline(input, line)) {
+        ++line_number;
+        const std::vector<std::string> tokens = tokenize(line);
+        if (tokens.empty()) continue;
+        const std::string& keyword = tokens[0];
+        if (keyword == "state") {
+            if (tokens.size() != 3) fail(line_number, "expected: state <name> <0|1>");
+            if (tokens[2] != "0" && tokens[2] != "1") fail(line_number, "output must be 0 or 1");
+            try {
+                b.add_state(tokens[1], tokens[2] == "1" ? 1 : 0);
+            } catch (const std::invalid_argument& e) {
+                fail(line_number, e.what());
+            }
+            names.push_back(tokens[1]);
+        } else if (keyword == "input") {
+            if (tokens.size() != 4 || tokens[2] != "->")
+                fail(line_number, "expected: input <var> -> <state>");
+            try {
+                b.set_input(tokens[1], lookup(tokens[3], line_number));
+            } catch (const std::invalid_argument& e) {
+                fail(line_number, e.what());
+            }
+            any_input = true;
+        } else if (keyword == "leaders") {
+            if (tokens.size() != 3) fail(line_number, "expected: leaders <state> <count>");
+            AgentCount count = 0;
+            try {
+                count = std::stoll(tokens[2]);
+            } catch (...) {
+                fail(line_number, "count must be an integer");
+            }
+            try {
+                b.add_leaders(lookup(tokens[1], line_number), count);
+            } catch (const std::invalid_argument& e) {
+                fail(line_number, e.what());
+            }
+        } else if (keyword == "trans") {
+            if (tokens.size() != 6 || tokens[3] != "->")
+                fail(line_number, "expected: trans <p> <q> -> <p'> <q'>");
+            b.add_transition(lookup(tokens[1], line_number), lookup(tokens[2], line_number),
+                             lookup(tokens[4], line_number), lookup(tokens[5], line_number));
+        } else {
+            fail(line_number, "unknown keyword '" + keyword + "'");
+        }
+    }
+    if (!any_input) fail(line_number, "no input declaration");
+    try {
+        return std::move(b).build();
+    } catch (const std::invalid_argument& e) {
+        fail(line_number, e.what());
+    }
+}
+
+std::string format_protocol(const Protocol& protocol) {
+    std::ostringstream os;
+    for (std::size_t q = 0; q < protocol.num_states(); ++q)
+        os << "state " << protocol.state_name(static_cast<StateId>(q)) << ' '
+           << protocol.output(static_cast<StateId>(q)) << '\n';
+    const auto vars = protocol.input_variables();
+    for (std::size_t v = 0; v < vars.size(); ++v)
+        os << "input " << vars[v] << " -> " << protocol.state_name(protocol.input_state(v))
+           << '\n';
+    for (std::size_t q = 0; q < protocol.num_states(); ++q) {
+        const AgentCount count = protocol.leaders()[static_cast<StateId>(q)];
+        if (count > 0)
+            os << "leaders " << protocol.state_name(static_cast<StateId>(q)) << ' ' << count
+               << '\n';
+    }
+    for (const Transition& t : protocol.transitions()) {
+        os << "trans " << protocol.state_name(t.pre1) << ' ' << protocol.state_name(t.pre2)
+           << " -> " << protocol.state_name(t.post1) << ' ' << protocol.state_name(t.post2)
+           << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace ppsc

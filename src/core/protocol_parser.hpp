@@ -1,0 +1,33 @@
+// Text format for population protocols.
+//
+// A small line-oriented format so protocols can be shipped as data files
+// and driven from the command line (examples/protocol_tool):
+//
+//     # threshold-2 detector
+//     state x 0
+//     state T 1
+//     input x -> x
+//     leaders T 1            # optional
+//     trans x x -> T T
+//     trans x T -> T T
+//
+// Lines: `state <name> <0|1>`, `input <var> -> <state>`,
+// `leaders <state> <count>`, `trans <p> <q> -> <p'> <q'>`; `#` starts a
+// comment; blank lines ignored.
+#pragma once
+
+#include <string_view>
+
+#include "core/protocol.hpp"
+
+namespace ppsc {
+
+/// Parses the format above.  Throws std::invalid_argument with a
+/// line-numbered message on any syntax or semantic error.
+Protocol parse_protocol(std::string_view text);
+
+/// Serialises a protocol back to the text format (round-trips through
+/// parse_protocol).
+std::string format_protocol(const Protocol& protocol);
+
+}  // namespace ppsc

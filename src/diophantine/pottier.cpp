@@ -1,0 +1,253 @@
+#include "diophantine/pottier.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "support/check.hpp"
+#include "support/hash.hpp"
+
+namespace ppsc {
+
+void HomogeneousSystem::validate() const {
+    for (const auto& row : rows) {
+        if (row.size() != num_vars)
+            throw std::invalid_argument("HomogeneousSystem: row width != num_vars");
+    }
+}
+
+BigNat pottier_bound(const HomogeneousSystem& system) {
+    system.validate();
+    std::uint64_t max_row_sum = 0;
+    for (const auto& row : system.rows) {
+        std::uint64_t sum = 0;
+        for (const std::int64_t a : row) sum += static_cast<std::uint64_t>(a < 0 ? -a : a);
+        max_row_sum = std::max(max_row_sum, sum);
+    }
+    return BigNat(1 + max_row_sum).pow(system.rows.size());
+}
+
+namespace {
+
+using Vec = std::vector<std::int64_t>;
+
+struct VecHash {
+    std::size_t operator()(const Vec& v) const noexcept { return hash_int_vector(v); }
+};
+
+bool leq(const Vec& a, const Vec& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i]) return false;
+    }
+    return true;
+}
+
+Vec residual(const HomogeneousSystem& system, const Vec& y) {
+    Vec r(system.rows.size(), 0);
+    for (std::size_t i = 0; i < system.rows.size(); ++i) {
+        const auto& row = system.rows[i];
+        std::int64_t sum = 0;
+        for (std::size_t j = 0; j < row.size(); ++j) sum += row[j] * y[j];
+        r[i] = sum;
+    }
+    return r;
+}
+
+bool is_zero(const Vec& v) {
+    return std::all_of(v.begin(), v.end(), [](std::int64_t x) { return x == 0; });
+}
+
+std::int64_t dot(const Vec& a, const Vec& b) {
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+    return sum;
+}
+
+std::int64_t norm1(const Vec& v) {
+    std::int64_t sum = 0;
+    for (const std::int64_t x : v) sum += x;
+    return sum;
+}
+
+}  // namespace
+
+std::vector<Vec> hilbert_basis_equalities(const HomogeneousSystem& system,
+                                          const HilbertOptions& options) {
+    system.validate();
+    const std::size_t v = system.num_vars;
+    if (v == 0) return {};
+
+    // Column images A·e_j, used by the Contejean–Devie descent rule.
+    std::vector<Vec> column(v);
+    for (std::size_t j = 0; j < v; ++j) {
+        Vec unit(v, 0);
+        unit[j] = 1;
+        column[j] = residual(system, unit);
+    }
+
+    std::vector<Vec> basis;
+    std::vector<Vec> frontier;
+    std::unordered_set<Vec, VecHash> seen;
+    for (std::size_t j = 0; j < v; ++j) {
+        Vec unit(v, 0);
+        unit[j] = 1;
+        frontier.push_back(unit);
+        seen.insert(std::move(unit));
+    }
+
+    while (!frontier.empty()) {
+        std::vector<Vec> next;
+        for (const Vec& t : frontier) {
+            const Vec r = residual(system, t);
+            if (is_zero(r)) {
+                // Minimal by construction: any smaller solution would have
+                // pruned t before it entered the frontier.
+                basis.push_back(t);
+                continue;
+            }
+            for (std::size_t j = 0; j < v; ++j) {
+                // Contejean–Devie: only grow along coordinates that move the
+                // residual towards the origin.
+                if (dot(r, column[j]) >= 0) continue;
+                Vec candidate = t;
+                candidate[j] += 1;
+                if (norm1(candidate) > options.max_norm1)
+                    throw std::length_error(
+                        "hilbert_basis_equalities: candidate exceeds max_norm1");
+                bool dominated = false;
+                for (const Vec& b : basis) {
+                    if (leq(b, candidate)) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (dominated) continue;
+                if (seen.insert(candidate).second) next.push_back(std::move(candidate));
+            }
+        }
+        if (seen.size() > options.max_frontier)
+            throw std::length_error("hilbert_basis_equalities: frontier budget exhausted");
+        frontier = std::move(next);
+    }
+
+    // The breadth-first order guarantees minimal solutions are found before
+    // any solution dominating them, but two incomparable solutions may both
+    // be emitted; filter dominated ones defensively.
+    std::vector<Vec> minimal;
+    for (const Vec& candidate : basis) {
+        bool dominated = false;
+        for (const Vec& other : basis) {
+            if (&other != &candidate && leq(other, candidate) && other != candidate) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) minimal.push_back(candidate);
+    }
+    return minimal;
+}
+
+std::vector<Vec> generating_basis_inequalities(const HomogeneousSystem& system,
+                                               const HilbertOptions& options) {
+    system.validate();
+    // Slack form: A·y − s = 0 with s ≥ 0, one slack per row.
+    HomogeneousSystem slack;
+    slack.num_vars = system.num_vars + system.rows.size();
+    for (std::size_t i = 0; i < system.rows.size(); ++i) {
+        Vec row = system.rows[i];
+        row.resize(slack.num_vars, 0);
+        row[system.num_vars + i] = -1;
+        slack.rows.push_back(std::move(row));
+    }
+
+    const std::vector<Vec> slack_basis = hilbert_basis_equalities(slack, options);
+    std::vector<Vec> projected;
+    std::unordered_set<Vec, VecHash> seen;
+    for (const Vec& solution : slack_basis) {
+        Vec y(solution.begin(), solution.begin() + static_cast<std::ptrdiff_t>(system.num_vars));
+        if (is_zero(y)) continue;  // cannot happen: s is determined by y
+        if (seen.insert(y).second) projected.push_back(std::move(y));
+    }
+    return projected;
+}
+
+InhomogeneousBasis solve_inhomogeneous(const HomogeneousSystem& system,
+                                       const std::vector<std::int64_t>& offsets,
+                                       const HilbertOptions& options) {
+    system.validate();
+    if (offsets.size() != system.rows.size())
+        throw std::invalid_argument("solve_inhomogeneous: offsets size != number of rows");
+
+    // Homogenise: A·y − b·t ≥ 0 over (y, t), then slack to equalities.
+    HomogeneousSystem lifted;
+    lifted.num_vars = system.num_vars + 1;
+    for (std::size_t i = 0; i < system.rows.size(); ++i) {
+        Vec row = system.rows[i];
+        row.push_back(-offsets[i]);
+        lifted.rows.push_back(std::move(row));
+    }
+
+    InhomogeneousBasis result;
+    std::unordered_set<Vec, VecHash> seen_particular, seen_homogeneous;
+    for (const Vec& solution : generating_basis_inequalities(lifted, options)) {
+        Vec y(solution.begin(), solution.end() - 1);
+        const std::int64_t t = solution.back();
+        if (t == 0) {
+            if (!is_zero(y) && seen_homogeneous.insert(y).second)
+                result.homogeneous.push_back(std::move(y));
+        } else if (t == 1) {
+            if (seen_particular.insert(y).second) result.particular.push_back(std::move(y));
+        }
+        // t >= 2 elements are sums of smaller ones; not needed for the
+        // particular + homogeneous decomposition.
+    }
+
+    // Keep only ≤-minimal particular solutions.
+    std::vector<Vec> minimal;
+    for (const Vec& candidate : result.particular) {
+        bool dominated = false;
+        for (const Vec& other : result.particular) {
+            if (other != candidate && leq(other, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) minimal.push_back(candidate);
+    }
+    result.particular = std::move(minimal);
+    return result;
+}
+
+std::vector<Vec> brute_force_minimal_equalities(const HomogeneousSystem& system,
+                                                std::int64_t cap) {
+    system.validate();
+    std::vector<Vec> solutions;
+    Vec y(system.num_vars, 0);
+    auto recurse = [&](auto&& self, std::size_t j) -> void {
+        if (j == system.num_vars) {
+            if (!is_zero(y) && is_zero(residual(system, y))) solutions.push_back(y);
+            return;
+        }
+        for (std::int64_t c = 0; c <= cap; ++c) {
+            y[j] = c;
+            self(self, j + 1);
+        }
+        y[j] = 0;
+    };
+    recurse(recurse, 0);
+
+    std::vector<Vec> minimal;
+    for (const Vec& candidate : solutions) {
+        bool dominated = false;
+        for (const Vec& other : solutions) {
+            if (other != candidate && leq(other, candidate)) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) minimal.push_back(candidate);
+    }
+    return minimal;
+}
+
+}  // namespace ppsc

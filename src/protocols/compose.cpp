@@ -1,0 +1,98 @@
+#include "protocols/compose.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppsc::protocols {
+
+namespace {
+
+/// Successor options of the unordered pair {p,q} in one component:
+/// the explicit rules plus the implicit silent transition.
+std::vector<std::pair<StateId, StateId>> component_options(const Protocol& protocol, StateId p,
+                                                           StateId q) {
+    std::vector<std::pair<StateId, StateId>> options;
+    options.emplace_back(p, q);  // silent
+    for (const TransitionId rule : protocol.rules_for_pair(p, q)) {
+        const Transition& t = protocol.transitions()[static_cast<std::size_t>(rule)];
+        options.emplace_back(t.post1, t.post2);
+    }
+    return options;
+}
+
+}  // namespace
+
+Protocol product(const Protocol& first, const Protocol& second,
+                 const OutputCombiner& combine) {
+    if (!first.is_leaderless() || !second.is_leaderless())
+        throw std::invalid_argument("product: both protocols must be leaderless");
+    const auto vars1 = first.input_variables();
+    const auto vars2 = second.input_variables();
+    if (vars1.size() != vars2.size() ||
+        !std::equal(vars1.begin(), vars1.end(), vars2.begin()))
+        throw std::invalid_argument("product: input variable lists must match");
+
+    const std::size_t n1 = first.num_states();
+    const std::size_t n2 = second.num_states();
+
+    ProtocolBuilder b;
+    std::vector<StateId> pair_state(n1 * n2);
+    auto id = [&](StateId q1, StateId q2) {
+        return pair_state[static_cast<std::size_t>(q1) * n2 + static_cast<std::size_t>(q2)];
+    };
+    for (std::size_t q1 = 0; q1 < n1; ++q1) {
+        for (std::size_t q2 = 0; q2 < n2; ++q2) {
+            const int out = combine(first.output(static_cast<StateId>(q1)),
+                                    second.output(static_cast<StateId>(q2)));
+            if (out != 0 && out != 1)
+                throw std::invalid_argument("product: combiner must return 0 or 1");
+            pair_state[q1 * n2 + q2] =
+                b.add_state(first.state_name(static_cast<StateId>(q1)) + "|" +
+                                second.state_name(static_cast<StateId>(q2)),
+                            out);
+        }
+    }
+    for (std::size_t v = 0; v < vars1.size(); ++v)
+        b.set_input(vars1[v], id(first.input_state(v), second.input_state(v)));
+
+    // For every unordered pair of product states, every combination of a
+    // component-1 option with a component-2 option, under both pairings of
+    // the participants.
+    for (std::size_t i = 0; i < n1 * n2; ++i) {
+        for (std::size_t j = i; j < n1 * n2; ++j) {
+            const auto p1 = static_cast<StateId>(i / n2), p2 = static_cast<StateId>(i % n2);
+            const auto q1 = static_cast<StateId>(j / n2), q2 = static_cast<StateId>(j % n2);
+            const auto options1 = component_options(first, p1, q1);
+            const auto options2 = component_options(second, p2, q2);
+            for (const auto& [a1, b1] : options1) {
+                for (const auto& [a2, b2] : options2) {
+                    // Pairing 1: first participants together.
+                    b.add_transition(id(p1, p2), id(q1, q2), id(a1, a2), id(b1, b2));
+                    // Pairing 2: crossed.
+                    b.add_transition(id(p1, p2), id(q1, q2), id(a1, b2), id(b1, a2));
+                }
+            }
+        }
+    }
+    return std::move(b).build();
+}
+
+Protocol negate(const Protocol& protocol) {
+    ProtocolBuilder b;
+    for (std::size_t q = 0; q < protocol.num_states(); ++q)
+        b.add_state(protocol.state_name(static_cast<StateId>(q)),
+                    1 - protocol.output(static_cast<StateId>(q)));
+    const auto vars = protocol.input_variables();
+    for (std::size_t v = 0; v < vars.size(); ++v)
+        b.set_input(vars[v], protocol.input_state(v));
+    for (std::size_t q = 0; q < protocol.num_states(); ++q) {
+        const auto leaders = protocol.leaders()[static_cast<StateId>(q)];
+        if (leaders > 0) b.add_leaders(static_cast<StateId>(q), leaders);
+    }
+    for (const Transition& t : protocol.transitions())
+        b.add_transition(t.pre1, t.pre2, t.post1, t.post2);
+    return std::move(b).build();
+}
+
+}  // namespace ppsc::protocols

@@ -1,0 +1,81 @@
+#include "protocols/linear_threshold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace ppsc::protocols {
+
+Protocol linear_threshold(const std::vector<std::int64_t>& coeffs, std::int64_t constant) {
+    if (coeffs.empty()) throw std::invalid_argument("linear_threshold: no coefficients");
+    std::int64_t max_abs = 1;
+    for (const std::int64_t a : coeffs) max_abs = std::max(max_abs, a < 0 ? -a : a);
+    if (max_abs > 64 || (constant < 0 ? -constant : constant) > 64)
+        throw std::invalid_argument("linear_threshold: coefficients/constant limited to |.|<=64");
+
+    const std::int64_t A = std::max(max_abs, constant < 0 ? -constant : constant);
+
+    ProtocolBuilder b;
+    // Holders H(v, belief) for v in [-A, A].
+    std::vector<StateId> holder[2];
+    for (int belief = 0; belief < 2; ++belief) {
+        holder[belief].resize(static_cast<std::size_t>(2 * A + 1));
+        for (std::int64_t v = -A; v <= A; ++v) {
+            holder[belief][static_cast<std::size_t>(v + A)] =
+                b.add_state("H" + std::to_string(v) + "b" + std::to_string(belief), belief);
+        }
+    }
+    const StateId follower[2] = {b.add_state("F0", 0), b.add_state("F1", 1)};
+
+    auto holder_state = [&](std::int64_t v, int belief) {
+        PPSC_CHECK(v >= -A && v <= A);
+        return holder[belief][static_cast<std::size_t>(v + A)];
+    };
+
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+        const std::int64_t a = coeffs[j];
+        b.set_input("x" + std::to_string(j), holder_state(a, a >= constant ? 1 : 0));
+    }
+
+    // Holder-holder interactions.
+    for (std::int64_t u = -A; u <= A; ++u) {
+        for (std::int64_t v = u; v <= A; ++v) {
+            const std::int64_t w = u + v;
+            const int verdict = w >= constant ? 1 : 0;
+            for (int b1 = 0; b1 < 2; ++b1) {
+                for (int b2 = 0; b2 < 2; ++b2) {
+                    if (b1 > b2 && u == v) continue;  // unordered duplicate
+                    const StateId pre1 = holder_state(u, b1);
+                    const StateId pre2 = holder_state(v, b2);
+                    if (w > A) {
+                        b.add_transition(pre1, pre2, holder_state(A, verdict),
+                                         holder_state(w - A, verdict));
+                    } else if (w < -A) {
+                        b.add_transition(pre1, pre2, holder_state(-A, verdict),
+                                         holder_state(w + A, verdict));
+                    } else {
+                        b.add_transition(pre1, pre2, holder_state(w, verdict),
+                                         follower[verdict]);
+                    }
+                }
+            }
+        }
+    }
+
+    // Holder-follower: the follower copies the holder's belief.  Beliefs
+    // are recomputed only at holder-holder meetings — recomputing from a
+    // lone holder's partial value here would let a residual holder flip a
+    // settled consensus back and forth forever.
+    for (std::int64_t u = -A; u <= A; ++u) {
+        for (int b1 = 0; b1 < 2; ++b1) {
+            b.add_transition(holder_state(u, b1), follower[1 - b1], holder_state(u, b1),
+                             follower[b1]);
+        }
+    }
+    // Follower-follower: silent (no rule).
+
+    return std::move(b).build();
+}
+
+}  // namespace ppsc::protocols

@@ -1,0 +1,51 @@
+// General linear threshold protocols: Σ aⱼ·xⱼ ≥ c with arbitrary integer
+// coefficients (positive, negative, zero) and arbitrary constant.
+//
+// Together with linear modulo protocols and boolean composition this
+// yields every Presburger predicate — the class population protocols
+// compute exactly ([8] in the paper).
+//
+// Construction (value-conserving cancellation with revocable beliefs; in
+// the spirit of Angluin et al. 2006 but engineered for clean bottom-SCC
+// behaviour, and exhaustively model-checked in this repository's tests):
+//
+//   Let A = max(|c|, max|aⱼ|, 1).  Agents are either *holders* H(v, b) with
+//   value v ∈ [−A, A] and belief b, or *followers* F(b).
+//
+//   H(u,·), H(v,·):  let w = u + v, b' = [w ≥ c]
+//        |w| ≤ A  →  H(w, b'), F(b')          (mass merges, count drops)
+//        w > A    →  H(A, b'), H(w − A, b')   (saturation split)
+//        w < −A   →  H(−A, b'), H(w + A, b')
+//   H(u, b), F(·) →  H(u, b), F(b)            (followers copy; beliefs are
+//                                              recomputed ONLY from pair
+//                                              sums — a lone holder's value
+//                                              is partial information and
+//                                              recomputing from it would
+//                                              oscillate settled verdicts)
+//   F, F          →  silent
+//
+//   Output = belief.  The total held value is conserved exactly (splits
+//   redistribute, never truncate), so Σ aⱼxⱼ is an invariant.  Bottom SCCs
+//   are: a single holder whose last combine stamped b = [T ≥ c] on it;
+//   several holders whose every pair sums > A (then T > A ≥ c and every
+//   recomputation yields 1); or the mirror case with every pair < −A
+//   (then T < −A ≤ c, every recomputation yields 0).  In each, beliefs are
+//   constant and agree with [Σ aⱼxⱼ ≥ c].
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ppsc::protocols {
+
+/// Builds the protocol for Σ coeffs[j]·x_j ≥ constant.  Input variables
+/// are named "x0", "x1", … matching the coefficient indices.  Throws
+/// std::invalid_argument if coeffs is empty or any |aⱼ| or |c| exceeds 64
+/// (the state count is 2(2A+1)+2; gigantic atoms belong in a different
+/// encoding).
+Protocol linear_threshold(const std::vector<std::int64_t>& coeffs, std::int64_t constant);
+
+}  // namespace ppsc::protocols

@@ -1,0 +1,20 @@
+#include "protocols/majority.hpp"
+
+namespace ppsc::protocols {
+
+Protocol majority() {
+    ProtocolBuilder b;
+    const StateId A = b.add_state("A", 1);
+    const StateId B = b.add_state("B", 0);
+    const StateId a = b.add_state("a", 1);
+    const StateId p = b.add_state("b", 0);
+    b.set_input("A", A);
+    b.set_input("B", B);
+    b.add_transition(A, B, a, p);
+    b.add_transition(A, p, A, a);
+    b.add_transition(B, a, B, p);
+    b.add_transition(a, p, p, p);
+    return std::move(b).build();
+}
+
+}  // namespace ppsc::protocols

@@ -1,0 +1,22 @@
+// The classic 4-state majority protocol.
+//
+// Decides x_A > x_B (strict majority of A agents; ties output 0).  This is
+// the motivating example of the paper's introduction: a Presburger
+// predicate with a tiny protocol.  States: active A, B and passive a, b.
+//
+//   A,B ↦ a,b   (actives cancel)
+//   A,b ↦ A,a   (survivors convert passives)
+//   B,a ↦ B,b
+//   a,b ↦ b,b   (passive tie-break towards "no majority")
+//
+// Exhaustively verified against Predicate::majority() in the tests.
+#pragma once
+
+#include "core/protocol.hpp"
+
+namespace ppsc::protocols {
+
+/// Builds the 4-state majority protocol with input variables "A", "B".
+Protocol majority();
+
+}  // namespace ppsc::protocols

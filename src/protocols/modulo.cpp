@@ -1,0 +1,75 @@
+#include "protocols/modulo.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppsc::protocols {
+
+namespace {
+
+Protocol build_modulo(const std::vector<std::int64_t>& input_values,
+                      const std::vector<std::string>& input_names, std::int64_t m,
+                      std::int64_t r);
+
+}  // namespace
+
+Protocol modulo(std::int64_t m, std::int64_t r) {
+    if (m < 2) throw std::invalid_argument("modulo: modulus must be >= 2");
+    if (r < 0 || r >= m) throw std::invalid_argument("modulo: remainder out of range");
+    return build_modulo({1}, {"x"}, m, r);
+}
+
+Protocol modulo_linear(const std::vector<std::int64_t>& coeffs, std::int64_t m,
+                       std::int64_t r) {
+    if (m < 2) throw std::invalid_argument("modulo_linear: modulus must be >= 2");
+    if (r < 0 || r >= m) throw std::invalid_argument("modulo_linear: remainder out of range");
+    if (coeffs.empty()) throw std::invalid_argument("modulo_linear: no coefficients");
+    std::vector<std::string> names;
+    std::vector<std::int64_t> values;
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+        names.push_back("x" + std::to_string(j));
+        values.push_back(((coeffs[j] % m) + m) % m);
+    }
+    return build_modulo(values, names, m, r);
+}
+
+namespace {
+
+Protocol build_modulo(const std::vector<std::int64_t>& input_values,
+                      const std::vector<std::string>& input_names, std::int64_t m,
+                      std::int64_t r) {
+    ProtocolBuilder b;
+    std::vector<StateId> acc(static_cast<std::size_t>(m));
+    std::vector<StateId> follower(static_cast<std::size_t>(m));
+    for (std::int64_t v = 0; v < m; ++v) {
+        const int out = v == r ? 1 : 0;
+        acc[static_cast<std::size_t>(v)] = b.add_state("u" + std::to_string(v), out);
+        follower[static_cast<std::size_t>(v)] = b.add_state("f" + std::to_string(v), out);
+    }
+    for (std::size_t j = 0; j < input_names.size(); ++j)
+        b.set_input(input_names[j], acc[static_cast<std::size_t>(input_values[j])]);
+
+    for (std::int64_t v1 = 0; v1 < m; ++v1) {
+        for (std::int64_t v2 = v1; v2 < m; ++v2) {
+            const std::int64_t sum = (v1 + v2) % m;
+            // Accumulators merge; the loser becomes a follower of the sum.
+            b.add_transition(acc[static_cast<std::size_t>(v1)],
+                             acc[static_cast<std::size_t>(v2)],
+                             acc[static_cast<std::size_t>(sum)],
+                             follower[static_cast<std::size_t>(sum)]);
+        }
+        for (std::int64_t w = 0; w < m; ++w) {
+            if (w == v1) continue;  // already agreeing: silent
+            b.add_transition(acc[static_cast<std::size_t>(v1)],
+                             follower[static_cast<std::size_t>(w)],
+                             acc[static_cast<std::size_t>(v1)],
+                             follower[static_cast<std::size_t>(v1)]);
+        }
+    }
+    return std::move(b).build();
+}
+
+}  // namespace
+
+}  // namespace ppsc::protocols

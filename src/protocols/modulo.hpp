@@ -1,0 +1,29 @@
+// Modulo (remainder) protocols: x ≡ r (mod m).
+//
+// Together with thresholds, modulo predicates generate all Presburger
+// predicates under boolean combinations — the normal form used by Blondin
+// et al. [11, 12].  Construction: every agent starts as an *accumulator*
+// holding value 1; two accumulators merge (one keeps the sum mod m, the
+// other becomes a *follower* adopting the merged value); accumulators
+// re-program followers they meet.  Fairness leaves exactly one accumulator,
+// whose value is x mod m, and all followers adopt it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/protocol.hpp"
+
+namespace ppsc::protocols {
+
+/// Builds the 2m-state protocol for x ≡ r (mod m).
+/// Throws std::invalid_argument unless m ≥ 2 and 0 ≤ r < m.
+Protocol modulo(std::int64_t m, std::int64_t r);
+
+/// Builds the 2m-state protocol for Σ coeffs[j]·x_j ≡ r (mod m): identical
+/// machinery, but an agent of variable j starts as an accumulator holding
+/// coeffs[j] mod m.  Input variables are "x0", "x1", ….
+/// Throws std::invalid_argument unless m ≥ 2, 0 ≤ r < m, and coeffs
+/// non-empty.
+Protocol modulo_linear(const std::vector<std::int64_t>& coeffs, std::int64_t m, std::int64_t r);
+
+}  // namespace ppsc::protocols

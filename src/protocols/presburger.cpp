@@ -1,0 +1,76 @@
+#include "protocols/presburger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "protocols/compose.hpp"
+#include "protocols/linear_threshold.hpp"
+#include "protocols/modulo.hpp"
+#include "support/check.hpp"
+
+namespace ppsc::protocols {
+
+namespace {
+
+std::vector<std::int64_t> padded(const std::vector<std::int64_t>& coeffs, std::size_t arity) {
+    std::vector<std::int64_t> result = coeffs;
+    result.resize(arity, 0);
+    return result;
+}
+
+Protocol compile_node(const Predicate& predicate, std::size_t arity) {
+    switch (predicate.kind()) {
+        case Predicate::Kind::kThreshold:
+            return linear_threshold(padded(predicate.coefficients(), arity),
+                                    predicate.constant());
+        case Predicate::Kind::kModulo:
+            return modulo_linear(padded(predicate.coefficients(), arity), predicate.modulus(),
+                                 predicate.constant());
+        case Predicate::Kind::kNot:
+            return negate(compile_node(predicate.left(), arity));
+        case Predicate::Kind::kAnd:
+            return product(compile_node(predicate.left(), arity),
+                           compile_node(predicate.right(), arity), combine_and());
+        case Predicate::Kind::kOr:
+            return product(compile_node(predicate.left(), arity),
+                           compile_node(predicate.right(), arity), combine_or());
+    }
+    PPSC_CHECK(false);
+}
+
+std::size_t count_states(const Predicate& predicate, std::size_t arity) {
+    switch (predicate.kind()) {
+        case Predicate::Kind::kThreshold: {
+            std::int64_t max_abs = 1;
+            for (const std::int64_t a : predicate.coefficients())
+                max_abs = std::max(max_abs, a < 0 ? -a : a);
+            const std::int64_t c = predicate.constant();
+            const std::int64_t big_a = std::max(max_abs, c < 0 ? -c : c);
+            return static_cast<std::size_t>(2 * (2 * big_a + 1) + 2);
+        }
+        case Predicate::Kind::kModulo:
+            return static_cast<std::size_t>(2 * predicate.modulus());
+        case Predicate::Kind::kNot:
+            return count_states(predicate.left(), arity);
+        case Predicate::Kind::kAnd:
+        case Predicate::Kind::kOr:
+            return count_states(predicate.left(), arity) *
+                   count_states(predicate.right(), arity);
+    }
+    PPSC_CHECK(false);
+}
+
+}  // namespace
+
+Protocol compile_presburger(const Predicate& predicate) {
+    const std::size_t arity = predicate.arity();
+    if (arity == 0)
+        throw std::invalid_argument("compile_presburger: predicate has no variables");
+    return compile_node(predicate, arity);
+}
+
+std::size_t compiled_state_count(const Predicate& predicate) {
+    return count_states(predicate, predicate.arity());
+}
+
+}  // namespace ppsc::protocols

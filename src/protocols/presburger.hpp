@@ -1,0 +1,33 @@
+// Compiler from Presburger predicates to population protocols.
+//
+// Population protocols compute exactly the Presburger predicates (Angluin
+// et al., [8] in the paper).  The constructive direction is realised here:
+// every Predicate — a boolean combination of linear threshold and linear
+// modulo atoms — compiles to a leaderless protocol via
+//
+//   threshold atom  →  linear_threshold        (cancellation protocol)
+//   modulo atom     →  modulo_linear           (accumulator protocol)
+//   ¬φ              →  negate(compile(φ))      (flip outputs)
+//   φ ∧ ψ, φ ∨ ψ    →  product(compile(φ), compile(ψ), ∧/∨)
+//
+// The product multiplies state counts, making compiled protocols a prime
+// source of the state-complexity question the paper studies: the compiler
+// is *correct* but nowhere near *succinct* (cf. the O(polylog) bounds of
+// [11, 12] that dedicated constructions achieve).
+#pragma once
+
+#include "core/predicate.hpp"
+#include "core/protocol.hpp"
+
+namespace ppsc::protocols {
+
+/// Compiles `predicate` to a leaderless protocol over input variables
+/// "x0".."x{arity-1}".  Throws std::invalid_argument if the predicate has
+/// arity 0 or an atom exceeds the linear_threshold coefficient limits.
+Protocol compile_presburger(const Predicate& predicate);
+
+/// Number of states compile_presburger(predicate) will produce (products
+/// multiply), without building it.
+std::size_t compiled_state_count(const Predicate& predicate);
+
+}  // namespace ppsc::protocols

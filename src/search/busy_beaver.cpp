@@ -1,0 +1,178 @@
+#include "search/busy_beaver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "verify/verifier.hpp"
+
+namespace ppsc::search {
+
+namespace {
+
+/// A candidate encoding: deterministic total transition table over
+/// unordered pairs plus an output bitmask.  Input variable at state 0.
+struct Encoding {
+    std::size_t n = 0;
+    std::vector<std::uint16_t> table;  // pair index -> successor pair index
+    std::uint32_t outputs = 0;         // bit q = output of state q
+
+    bool operator==(const Encoding&) const = default;
+};
+
+std::size_t pair_index(std::size_t p, std::size_t q) {
+    // p <= q.
+    return q * (q + 1) / 2 + p;
+}
+
+/// Decodes a pair index back to (p, q) with p <= q.
+std::pair<std::size_t, std::size_t> pair_of_index(std::size_t index, std::size_t n) {
+    for (std::size_t q = 0; q < n; ++q) {
+        const std::size_t base = q * (q + 1) / 2;
+        if (index < base + q + 1) return {index - base, q};
+    }
+    PPSC_CHECK(false);
+}
+
+/// Applies a state permutation to an encoding (perm[q] = new name of q).
+Encoding permuted(const Encoding& encoding, const std::vector<std::size_t>& perm) {
+    const std::size_t n = encoding.n;
+    Encoding result;
+    result.n = n;
+    result.table.assign(encoding.table.size(), 0);
+    for (std::size_t q = 0; q < n; ++q) {
+        if ((encoding.outputs >> q) & 1u) result.outputs |= 1u << perm[q];
+    }
+    for (std::size_t q = 0; q < n; ++q) {
+        for (std::size_t p = 0; p <= q; ++p) {
+            const auto [r, s] = pair_of_index(encoding.table[pair_index(p, q)], n);
+            const std::size_t new_p = std::min(perm[p], perm[q]);
+            const std::size_t new_q = std::max(perm[p], perm[q]);
+            const std::size_t new_r = std::min(perm[r], perm[s]);
+            const std::size_t new_s = std::max(perm[r], perm[s]);
+            result.table[pair_index(new_p, new_q)] =
+                static_cast<std::uint16_t>(pair_index(new_r, new_s));
+        }
+    }
+    return result;
+}
+
+/// Canonical = lexicographically minimal among renamings fixing state 0
+/// (the input state).
+bool is_canonical(const Encoding& encoding) {
+    std::vector<std::size_t> perm(encoding.n);
+    std::iota(perm.begin(), perm.end(), 0);
+    // Permute states 1..n-1 only.
+    std::vector<std::size_t> rest(perm.begin() + 1, perm.end());
+    do {
+        std::copy(rest.begin(), rest.end(), perm.begin() + 1);
+        const Encoding other = permuted(encoding, perm);
+        if (std::tie(other.outputs, other.table) < std::tie(encoding.outputs, encoding.table))
+            return false;
+    } while (std::next_permutation(rest.begin(), rest.end()));
+    return true;
+}
+
+Protocol build_protocol(const Encoding& encoding) {
+    ProtocolBuilder b;
+    for (std::size_t q = 0; q < encoding.n; ++q)
+        b.add_state("q" + std::to_string(q), (encoding.outputs >> q) & 1u);
+    b.set_input("x", 0);
+    for (std::size_t q = 0; q < encoding.n; ++q) {
+        for (std::size_t p = 0; p <= q; ++p) {
+            const auto [r, s] = pair_of_index(encoding.table[pair_index(p, q)], encoding.n);
+            b.add_transition(static_cast<StateId>(p), static_cast<StateId>(q),
+                             static_cast<StateId>(r), static_cast<StateId>(s));
+        }
+    }
+    return std::move(b).build();
+}
+
+}  // namespace
+
+SearchOutcome busy_beaver_search(std::size_t n, const SearchOptions& options) {
+    if (n < 2) throw std::invalid_argument("busy_beaver_search: n must be >= 2");
+    const std::size_t num_pairs = n * (n + 1) / 2;
+    if (n > 3 && options.sample_limit == 0)
+        throw std::invalid_argument(
+            "busy_beaver_search: exhaustive search beyond n = 3 is infeasible; set "
+            "sample_limit");
+
+    SearchOutcome outcome;
+    outcome.n = n;
+    outcome.exhaustive = options.sample_limit == 0;
+
+    ReachabilityOptions reach;
+    reach.max_nodes = options.max_nodes_per_graph;
+
+    std::map<AgentCount, std::uint64_t> histogram;
+
+    auto consider = [&](const Encoding& encoding) {
+        ++outcome.enumerated;
+        if (!is_canonical(encoding)) return;
+        ++outcome.canonical;
+        const Protocol protocol = build_protocol(encoding);
+        const Verifier verifier(protocol, reach);
+        std::optional<AgentCount> eta;
+        try {
+            eta = verifier.infer_threshold(options.max_input);
+        } catch (const std::length_error&) {
+            ++outcome.budget_skipped;
+            return;
+        }
+        if (!eta) return;
+        // x >= eta must stay accepted up to the horizon, which
+        // infer_threshold guarantees; thresholds at the very horizon are
+        // indistinguishable from "accept nothing below max_input+1", so
+        // only count eta strictly below the horizon.
+        if (*eta >= options.max_input) return;
+        ++outcome.threshold_protocols;
+        ++histogram[*eta];
+        if (*eta > outcome.best_eta) {
+            outcome.best_eta = *eta;
+            outcome.best_protocol_text = protocol.to_text();
+        }
+    };
+
+    if (outcome.exhaustive) {
+        // All output masks except all-0 / all-1 (those accept or reject
+        // everything and cannot realise a threshold >= 2 anyway... all-1
+        // realises "x >= 2" trivially: keep it, drop only all-0).
+        std::uint64_t total_tables = 1;
+        for (std::size_t i = 0; i < num_pairs; ++i) total_tables *= num_pairs;
+        for (std::uint32_t outputs = 1; outputs < (1u << n); ++outputs) {
+            Encoding encoding;
+            encoding.n = n;
+            encoding.outputs = outputs;
+            encoding.table.assign(num_pairs, 0);
+            for (std::uint64_t code = 0; code < total_tables; ++code) {
+                std::uint64_t rest = code;
+                for (std::size_t i = 0; i < num_pairs; ++i) {
+                    encoding.table[i] = static_cast<std::uint16_t>(rest % num_pairs);
+                    rest /= num_pairs;
+                }
+                consider(encoding);
+            }
+        }
+    } else {
+        Rng rng(options.seed);
+        for (std::uint64_t trial = 0; trial < options.sample_limit; ++trial) {
+            Encoding encoding;
+            encoding.n = n;
+            encoding.outputs =
+                static_cast<std::uint32_t>(1 + rng.below((1u << n) - 1));  // not all-0
+            encoding.table.resize(num_pairs);
+            for (std::size_t i = 0; i < num_pairs; ++i)
+                encoding.table[i] = static_cast<std::uint16_t>(rng.below(num_pairs));
+            consider(encoding);
+        }
+    }
+
+    outcome.eta_histogram.assign(histogram.begin(), histogram.end());
+    return outcome;
+}
+
+}  // namespace ppsc::search

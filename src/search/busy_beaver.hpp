@@ -1,0 +1,58 @@
+// Empirical busy-beaver search (Definition 1 of the paper).
+//
+// BB(n) is the largest η such that some leaderless n-state protocol
+// computes x ≥ η.  The paper brackets BB(n) between Ω(2^n) (Theorem 2.2)
+// and 2^((2n+2)!) (Theorem 5.9); neither side is constructive for small n,
+// so this module *measures*: it enumerates every deterministic n-state
+// single-input protocol (up to state renaming), verifies each candidate
+// exhaustively on all inputs up to a cutoff, and reports the largest
+// threshold realised.
+//
+// Honest scope: the verifier checks inputs 2..max_input, so a reported
+// threshold η means "behaves exactly like x ≥ η on every checked input".
+// The enumeration covers deterministic protocols with the input mapped to
+// state 0 — every protocol is isomorphic to one of that form, and
+// determinism only shrinks the search space (a nondeterministic busy
+// beaver may in principle beat the deterministic record).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace ppsc::search {
+
+struct SearchOptions {
+    /// Verify candidate thresholds on inputs 2..max_input.
+    AgentCount max_input = 12;
+    /// Per-input reachability node budget; exceeding it skips the protocol
+    /// (counted in budget_skipped, never silently mis-reported).
+    std::size_t max_nodes_per_graph = 100'000;
+    /// 0 = exhaustive enumeration; otherwise test this many random
+    /// candidates (needed from n = 4 up, where the space has 10^10 tables).
+    std::uint64_t sample_limit = 0;
+    std::uint64_t seed = 0xbeefcafe;
+};
+
+struct SearchOutcome {
+    std::size_t n = 0;
+    std::uint64_t enumerated = 0;          ///< candidate encodings generated
+    std::uint64_t canonical = 0;           ///< survivors of symmetry reduction
+    std::uint64_t threshold_protocols = 0; ///< verified threshold behaviours
+    std::uint64_t budget_skipped = 0;      ///< skipped on verification budget
+    AgentCount best_eta = 0;               ///< empirical BB(n)
+    std::string best_protocol_text;        ///< description of a witness
+    /// histogram[η] = number of canonical protocols computing x ≥ η.
+    std::vector<std::pair<AgentCount, std::uint64_t>> eta_histogram;
+    bool exhaustive = true;                ///< false when sampling
+};
+
+/// Runs the search for n-state protocols.  Throws std::invalid_argument if
+/// n < 2, or if n > 3 with sample_limit == 0 (exhaustive enumeration above
+/// n = 3 is astronomically infeasible and surely a caller mistake).
+SearchOutcome busy_beaver_search(std::size_t n, const SearchOptions& options = {});
+
+}  // namespace ppsc::search

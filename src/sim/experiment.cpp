@@ -1,0 +1,46 @@
+#include "sim/experiment.hpp"
+
+#include <functional>
+
+#include "sim/stats.hpp"
+
+namespace ppsc {
+
+std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
+                                              const std::vector<AgentCount>& populations,
+                                              const std::function<int(AgentCount)>& expected,
+                                              const ConvergenceSweepOptions& options) {
+    const Simulator simulator(protocol);
+    std::vector<ConvergenceRow> rows;
+    rows.reserve(populations.size());
+    for (const AgentCount population : populations) {
+        RunningStats time_stats;
+        std::uint64_t converged = 0, correct = 0;
+        for (std::uint64_t r = 0; r < options.runs_per_size; ++r) {
+            // One independent stream per (size, repetition) pair.
+            Rng rng(options.seed ^ (static_cast<std::uint64_t>(population) << 20) ^ r);
+            const SimulationResult result =
+                simulator.run_input(population, rng, options.simulation);
+            if (result.converged) {
+                ++converged;
+                time_stats.add(result.parallel_time);
+            }
+            if (result.output && *result.output == expected(population)) ++correct;
+        }
+        ConvergenceRow row;
+        row.population = population;
+        row.runs = options.runs_per_size;
+        row.converged_runs = converged;
+        row.mean_parallel_time = time_stats.mean();
+        row.stddev_parallel_time = time_stats.stddev();
+        row.max_parallel_time = time_stats.max();
+        row.correct_fraction = options.runs_per_size == 0
+                                   ? 0.0
+                                   : static_cast<double>(correct) /
+                                         static_cast<double>(options.runs_per_size);
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+}  // namespace ppsc

@@ -1,0 +1,38 @@
+// Repeatable simulation experiments: convergence-time sweeps over
+// population sizes, used by bench_simulation (experiment E10) and the
+// examples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppsc {
+
+struct ConvergenceRow {
+    AgentCount population = 0;
+    std::uint64_t runs = 0;
+    std::uint64_t converged_runs = 0;
+    double mean_parallel_time = 0.0;
+    double stddev_parallel_time = 0.0;
+    double max_parallel_time = 0.0;
+    double correct_fraction = 0.0;  ///< runs whose output matched `expected`
+};
+
+struct ConvergenceSweepOptions {
+    std::uint64_t runs_per_size = 20;
+    std::uint64_t seed = 0x5eed;
+    SimulationOptions simulation;
+};
+
+/// Runs `runs_per_size` seeded simulations of IC(i) for each population
+/// size i in `populations`; `expected(i)` gives the ground-truth output.
+/// Single-input protocols only.
+std::vector<ConvergenceRow> convergence_sweep(
+    const Protocol& protocol, const std::vector<AgentCount>& populations,
+    const std::function<int(AgentCount)>& expected, const ConvergenceSweepOptions& options = {});
+
+}  // namespace ppsc

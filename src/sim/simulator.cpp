@@ -1,0 +1,160 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+Simulator::Simulator(const Protocol& protocol) : protocol_(protocol) {
+    compute_output_traps();
+}
+
+void Simulator::compute_output_traps() {
+    // Greatest-fixpoint under-approximation of the largest interaction-closed
+    // subset of O⁻¹(b): start from all b-output states; while some transition
+    // has both pre-states inside but a post-state outside, evict both
+    // pre-states.  Evicting both is conservative (a smaller trap is still
+    // sound) and makes the iteration deterministic.
+    const std::size_t n = protocol_.num_states();
+    for (int b = 0; b < 2; ++b) {
+        std::vector<bool>& trap = traps_[b];
+        trap.assign(n, false);
+        for (std::size_t q = 0; q < n; ++q)
+            trap[q] = (protocol_.output(static_cast<StateId>(q)) == b);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const Transition& t : protocol_.transitions()) {
+                const auto p1 = static_cast<std::size_t>(t.pre1);
+                const auto p2 = static_cast<std::size_t>(t.pre2);
+                if (!trap[p1] || !trap[p2]) continue;
+                const bool posts_inside = trap[static_cast<std::size_t>(t.post1)] &&
+                                          trap[static_cast<std::size_t>(t.post2)];
+                if (!posts_inside) {
+                    trap[p1] = false;
+                    trap[p2] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+bool Simulator::is_silent(const Config& config) const {
+    const std::vector<StateId> support = config.support();
+    for (std::size_t i = 0; i < support.size(); ++i) {
+        for (std::size_t j = i; j < support.size(); ++j) {
+            if (i == j && config[support[i]] < 2) continue;  // pair needs two agents
+            if (!protocol_.pair_is_silent(support[i], support[j])) return false;
+        }
+    }
+    return true;
+}
+
+bool Simulator::is_provably_stable(const Config& config) const {
+    for (int b = 0; b < 2; ++b) {
+        bool inside = true;
+        for (const StateId q : config.support()) {
+            if (!traps_[b][static_cast<std::size_t>(q)]) {
+                inside = false;
+                break;
+            }
+        }
+        if (inside) return true;
+    }
+    return is_silent(config);
+}
+
+std::optional<TransitionId> Simulator::step(Config& config, Rng& rng) const {
+    const AgentCount population = config.size();
+    PPSC_CHECK_MSG(population >= 2, "simulation needs at least two agents");
+
+    // Sample an ordered pair of distinct agent ranks, then map ranks to
+    // states by scanning the (small) count vector.
+    const auto r1 = static_cast<AgentCount>(rng.below(static_cast<std::uint64_t>(population)));
+    auto r2 = static_cast<AgentCount>(rng.below(static_cast<std::uint64_t>(population - 1)));
+    if (r2 >= r1) ++r2;
+
+    StateId s1 = -1, s2 = -1;
+    AgentCount cumulative = 0;
+    const auto& counts = config.counts();
+    for (std::size_t q = 0; q < counts.size() && (s1 < 0 || s2 < 0); ++q) {
+        cumulative += counts[q];
+        if (s1 < 0 && r1 < cumulative) s1 = static_cast<StateId>(q);
+        if (s2 < 0 && r2 < cumulative) s2 = static_cast<StateId>(q);
+    }
+    PPSC_CHECK(s1 >= 0 && s2 >= 0);
+
+    const auto rules = protocol_.rules_for_pair(s1, s2);
+    if (rules.empty()) return std::nullopt;  // silent encounter
+
+    // The scheduler resolves transition nondeterminism uniformly.
+    const TransitionId chosen =
+        rules.size() == 1 ? rules[0] : rules[rng.below(rules.size())];
+    const Transition& t = protocol_.transitions()[static_cast<std::size_t>(chosen)];
+    config.add(t.pre1, -1);
+    config.add(t.pre2, -1);
+    config.add(t.post1, 1);
+    config.add(t.post2, 1);
+    return chosen;
+}
+
+SimulationResult Simulator::run(Config config, Rng& rng,
+                                const SimulationOptions& options) const {
+    const AgentCount population = config.size();
+    if (population < 2)
+        throw std::invalid_argument("Simulator::run: configurations need at least two agents");
+
+    // Track, incrementally, how many agents sit outside each output trap;
+    // when a counter hits zero the configuration is provably stable.
+    AgentCount outside[2] = {0, 0};
+    for (std::size_t q = 0; q < protocol_.num_states(); ++q) {
+        for (int b = 0; b < 2; ++b) {
+            if (!traps_[b][q]) outside[b] += config[static_cast<StateId>(q)];
+        }
+    }
+
+    const std::uint64_t silent_interval =
+        options.silent_check_interval != 0
+            ? options.silent_check_interval
+            : static_cast<std::uint64_t>(population);
+
+    std::uint64_t interactions = 0;
+    bool converged = (outside[0] == 0 || outside[1] == 0) || is_silent(config);
+    while (!converged && interactions < options.max_interactions) {
+        const std::optional<TransitionId> fired = step(config, rng);
+        ++interactions;
+        if (fired) {
+            const Transition& t = protocol_.transitions()[static_cast<std::size_t>(*fired)];
+            for (int b = 0; b < 2; ++b) {
+                const auto& trap = traps_[b];
+                outside[b] += static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post1)]) +
+                              static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post2)]) -
+                              static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre1)]) -
+                              static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre2)]);
+            }
+            if (outside[0] == 0 || outside[1] == 0) {
+                converged = true;
+                break;
+            }
+        }
+        if (interactions % silent_interval == 0 && is_silent(config)) {
+            converged = true;
+            break;
+        }
+    }
+
+    SimulationResult result{std::move(config), interactions, converged, std::nullopt, 0.0};
+    result.output = protocol_.consensus_output(result.final_config);
+    result.parallel_time =
+        static_cast<double>(interactions) / static_cast<double>(population);
+    return result;
+}
+
+SimulationResult Simulator::run_input(AgentCount input, Rng& rng,
+                                      const SimulationOptions& options) const {
+    return run(protocol_.initial_config(input), rng, options);
+}
+
+}  // namespace ppsc

@@ -1,0 +1,87 @@
+// Random-scheduler simulation of population protocols.
+//
+// The standard stochastic model (Section 1 of the paper): at each step a
+// pair of distinct agents is chosen uniformly at random and interacts.
+// Parallel time = interactions / number of agents.
+//
+// Convergence detection.  True stabilisation ("no reachable configuration
+// changes the output") is undecidable to detect locally, so the simulator
+// uses two *sound* sufficient conditions:
+//
+//   1. Silent configurations: every enabled pair is silent — no transition
+//      can ever fire again, so the configuration is trivially stable.
+//   2. Output traps: a set W_b ⊆ O⁻¹(b) of states closed under interaction
+//      (every transition whose both pre-states lie in W_b has both
+//      post-states in W_b).  If all agents are inside W_b, every reachable
+//      configuration stays inside, so the output is stably b.  We compute a
+//      greatest-fixpoint under-approximation of the largest such trap.
+//
+// Both checks are sound: `converged == true` really means the execution has
+// stabilised.  They are not complete; runs that stabilise in a form the
+// checks cannot see terminate at `max_interactions` with converged == false.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "support/rng.hpp"
+
+namespace ppsc {
+
+struct SimulationOptions {
+    /// Hard cap on interactions before giving up.
+    std::uint64_t max_interactions = 50'000'000;
+
+    /// How often (in interactions) to run the O(|support|²) silent-config
+    /// check; 0 means "population size".
+    std::uint64_t silent_check_interval = 0;
+};
+
+struct SimulationResult {
+    Config final_config;
+    std::uint64_t interactions = 0;   ///< total interactions executed
+    bool converged = false;           ///< a sound stability condition fired
+    std::optional<int> output;        ///< consensus output of the final config
+    double parallel_time = 0.0;       ///< interactions / population
+};
+
+/// Reusable simulator for one protocol (precomputes output traps).
+class Simulator {
+public:
+    explicit Simulator(const Protocol& protocol);
+
+    /// Runs from `config` until a sound stability condition holds or the
+    /// interaction budget is exhausted.
+    SimulationResult run(Config config, Rng& rng, const SimulationOptions& options = {}) const;
+
+    /// Runs from IC(input) (single-input protocols).
+    SimulationResult run_input(AgentCount input, Rng& rng,
+                               const SimulationOptions& options = {}) const;
+
+    /// Executes exactly one interaction step on `config`; returns the
+    /// transition fired (nullopt for a silent encounter).
+    std::optional<TransitionId> step(Config& config, Rng& rng) const;
+
+    /// The output trap W_b used for convergence detection (exposed for
+    /// tests and for the stable-set experiments).
+    const std::vector<bool>& output_trap(int b) const { return traps_[b]; }
+
+    /// True iff the configuration is silent: every enabled pair of states
+    /// has only the implicit silent transition.
+    bool is_silent(const Config& config) const;
+
+    /// True iff one of the two sound stability conditions holds.
+    bool is_provably_stable(const Config& config) const;
+
+private:
+    void compute_output_traps();
+
+    // Owned copy: simulators are long-lived; never dangle on a temporary.
+    Protocol protocol_;
+    std::vector<bool> traps_[2];  // traps_[b][q]: q belongs to the b-trap
+};
+
+}  // namespace ppsc

@@ -1,0 +1,63 @@
+// Small statistics helpers for simulation experiments.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+public:
+    void add(double x) noexcept {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+
+    std::uint64_t count() const noexcept { return count_; }
+    double mean() const noexcept { return mean_; }
+    double variance() const noexcept { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+    double stddev() const noexcept { return std::sqrt(variance()); }
+    double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+    double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample container with quantiles (destructive nth_element on demand).
+class Samples {
+public:
+    void add(double x) { values_.push_back(x); }
+    std::size_t size() const noexcept { return values_.size(); }
+
+    /// q ∈ [0,1]; nearest-rank quantile.
+    double quantile(double q) {
+        PPSC_CHECK(!values_.empty());
+        const double clamped = std::clamp(q, 0.0, 1.0);
+        const auto rank = static_cast<std::size_t>(
+            clamped * static_cast<double>(values_.size() - 1) + 0.5);
+        std::nth_element(values_.begin(), values_.begin() + static_cast<std::ptrdiff_t>(rank),
+                         values_.end());
+        return values_[rank];
+    }
+
+    double median() { return quantile(0.5); }
+
+private:
+    std::vector<double> values_;
+};
+
+}  // namespace ppsc

@@ -1,0 +1,106 @@
+#include "stable/downward.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+DownwardClosedSet::DownwardClosedSet(std::vector<BasisElement> elements)
+    : elements_(std::move(elements)) {
+    for (auto& element : elements_) std::sort(element.pump.begin(), element.pump.end());
+    normalise();
+}
+
+DownwardClosedSet DownwardClosedSet::closure_of(const Config& config) {
+    return DownwardClosedSet({BasisElement{config, {}}});
+}
+
+bool DownwardClosedSet::element_contains(const BasisElement& element, const Config& config) {
+    if (config.num_states() != element.base.num_states()) return false;
+    for (std::size_t q = 0; q < config.num_states(); ++q) {
+        const auto state = static_cast<StateId>(q);
+        if (config[state] <= element.base[state]) continue;
+        // Excess in a non-pumpable direction breaks containment.
+        if (!std::binary_search(element.pump.begin(), element.pump.end(), state)) return false;
+    }
+    return true;
+}
+
+bool DownwardClosedSet::contains(const Config& config) const {
+    return std::any_of(elements_.begin(), elements_.end(), [&](const BasisElement& element) {
+        return element_contains(element, config);
+    });
+}
+
+bool DownwardClosedSet::element_subsumes(const BasisElement& big, const BasisElement& small) {
+    // (small.base + N^small.pump) ⊆ (big.base + N^big.pump) holds iff the
+    // "corner" small.base is contained and every pump direction of small is
+    // a pump direction of big.
+    if (!element_contains(big, small.base)) return false;
+    return std::includes(big.pump.begin(), big.pump.end(), small.pump.begin(),
+                         small.pump.end());
+}
+
+bool DownwardClosedSet::covers(const DownwardClosedSet& other) const {
+    return std::all_of(other.elements_.begin(), other.elements_.end(),
+                       [&](const BasisElement& element) {
+                           return std::any_of(elements_.begin(), elements_.end(),
+                                              [&](const BasisElement& mine) {
+                                                  return element_subsumes(mine, element);
+                                              });
+                       });
+}
+
+DownwardClosedSet DownwardClosedSet::unified_with(const DownwardClosedSet& other) const {
+    std::vector<BasisElement> all = elements_;
+    all.insert(all.end(), other.elements_.begin(), other.elements_.end());
+    return DownwardClosedSet(std::move(all));
+}
+
+void DownwardClosedSet::normalise() {
+    // Drop element i when some j subsumes it; in mutual-subsumption pairs
+    // (semantically equal elements with different corners) keep the lower
+    // index so exactly one representative survives.
+    std::vector<BasisElement> kept;
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+        bool subsumed = false;
+        for (std::size_t j = 0; j < elements_.size() && !subsumed; ++j) {
+            if (i == j || !element_subsumes(elements_[j], elements_[i])) continue;
+            if (element_subsumes(elements_[i], elements_[j]) && i < j) continue;
+            subsumed = true;
+        }
+        if (!subsumed) kept.push_back(elements_[i]);
+    }
+    elements_ = std::move(kept);
+}
+
+AgentCount DownwardClosedSet::norm() const noexcept {
+    AgentCount norm = 0;
+    for (const auto& element : elements_) norm = std::max(norm, element.norm());
+    return norm;
+}
+
+std::string DownwardClosedSet::to_string(std::span<const std::string> names) const {
+    std::ostringstream os;
+    bool first = true;
+    for (const auto& element : elements_) {
+        if (!first) os << " ∪ ";
+        first = false;
+        os << element.base.to_string(names) << "+N^{";
+        for (std::size_t k = 0; k < element.pump.size(); ++k) {
+            if (k > 0) os << ',';
+            const auto q = static_cast<std::size_t>(element.pump[k]);
+            if (q < names.size())
+                os << names[q];
+            else
+                os << 'q' << q;
+        }
+        os << '}';
+    }
+    if (first) os << "∅";
+    return os.str();
+}
+
+}  // namespace ppsc

@@ -1,0 +1,94 @@
+// Stable configuration sets (Section 3 of the paper).
+//
+// Definition 2: a configuration C is b-stable if every configuration
+// reachable from C has output b (all agents in b-output states).  SC_b is
+// the set of b-stable configurations, SC = SC_0 ∪ SC_1.
+//
+// Computation: transitions preserve population size, so within the size-N
+// slice C is b-stable iff C cannot reach Bad_b = { C' : some agent of C'
+// outputs ¬b } — one backward reachability from Bad_b per slice, then
+// complement.
+//
+// Lemma 3.1 says SC_b is downward closed; Lemma 3.2 says it has a basis
+// (B,S) — finitely many "seed plus pumpable directions" pieces — of norm at
+// most β = 2^(2(2n+1)!+1).  This module computes the bounded part of SC_b
+// exactly, checks downward closure, and extracts an *empirical* basis whose
+// norms the experiments compare against β (which is astronomically loose).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/protocol.hpp"
+#include "verify/reachability.hpp"
+
+namespace ppsc {
+
+enum class Stability : std::uint8_t {
+    kNeither,  ///< some reachable configuration breaks both consensuses
+    kStable0,  ///< ∈ SC_0
+    kStable1,  ///< ∈ SC_1
+};
+
+/// A basis element (B, S): the claim B + N^S ⊆ SC_b (Section 3).
+struct BasisElement {
+    Config base;                  ///< B
+    std::vector<StateId> pump;    ///< S — pumpable directions
+    AgentCount norm() const noexcept;  ///< ∥B∥∞
+};
+
+/// Exact stable sets for all population sizes 2..max_population.
+class StableAnalysis {
+public:
+    /// Builds all slices up front.  Throws std::length_error if the total
+    /// node budget is exceeded.
+    StableAnalysis(const Protocol& protocol, AgentCount max_population,
+                   ReachabilityOptions options = {});
+
+    const Protocol& protocol() const noexcept { return protocol_; }
+    AgentCount max_population() const noexcept { return max_population_; }
+
+    /// Stability of a configuration with 2 ≤ |C| ≤ max_population.
+    /// Throws std::invalid_argument outside that range.
+    Stability stability(const Config& config) const;
+
+    bool is_stable(const Config& config, int b) const {
+        const Stability s = stability(config);
+        return (b == 0 && s == Stability::kStable0) || (b == 1 && s == Stability::kStable1);
+    }
+
+    /// All b-stable configurations of one slice.
+    std::vector<Config> stable_configs(AgentCount population, int b) const;
+
+    /// Number of b-stable configurations per slice (for reporting).
+    std::vector<std::pair<AgentCount, std::size_t>> stable_counts(int b) const;
+
+    /// Lemma 3.1 check over the computed region: removing one agent from a
+    /// b-stable configuration (population permitting) stays b-stable.
+    /// Returns a violating configuration if any — expected nullopt.
+    std::optional<Config> downward_closure_violation() const;
+
+    /// Empirical basis of SC_b over the computed region.  A state q is
+    /// accepted as a pumpable direction of C if C + j·q stays b-stable for
+    /// every j that keeps the size within max_population (at least
+    /// `min_pump_margin` steps must be checkable).  Elements subsumed by
+    /// another element are dropped.  This is an under/over-approximation
+    /// pair discussed in DESIGN.md — exact bases need unbounded pumping.
+    std::vector<BasisElement> empirical_basis(int b, AgentCount min_pump_margin = 2) const;
+
+private:
+    const ReachabilityGraph& slice(AgentCount population) const;
+    const std::vector<Stability>& flags(AgentCount population) const;
+
+    // Owned copy: analyses outlive any temporary the caller built from.
+    Protocol protocol_;
+    AgentCount max_population_;
+    std::map<AgentCount, ReachabilityGraph> slices_;
+    std::map<AgentCount, std::vector<Stability>> flags_;
+};
+
+}  // namespace ppsc

@@ -1,0 +1,258 @@
+#include "support/bignat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+namespace {
+constexpr std::uint64_t kLimbBase = 1ull << 32;
+}  // namespace
+
+BigNat::BigNat(std::uint64_t value) {
+    if (value != 0) {
+        limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffu));
+        if (value >= kLimbBase) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+    }
+}
+
+void BigNat::trim() noexcept {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNat BigNat::from_decimal(std::string_view text) {
+    if (text.empty()) throw std::invalid_argument("BigNat::from_decimal: empty string");
+    BigNat result;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument("BigNat::from_decimal: non-digit character");
+        // result = result*10 + digit, done limb-wise to avoid a full multiply.
+        std::uint64_t carry = static_cast<std::uint64_t>(c - '0');
+        for (auto& limb : result.limbs_) {
+            std::uint64_t v = static_cast<std::uint64_t>(limb) * 10 + carry;
+            limb = static_cast<std::uint32_t>(v & 0xffffffffu);
+            carry = v >> 32;
+        }
+        if (carry != 0) result.limbs_.push_back(static_cast<std::uint32_t>(carry));
+    }
+    return result;
+}
+
+BigNat BigNat::power_of_two(std::uint64_t exponent) {
+    BigNat one(1);
+    return one <<= exponent;
+}
+
+BigNat BigNat::factorial(std::uint64_t n, std::uint64_t max_bits) {
+    BigNat result(1);
+    for (std::uint64_t i = 2; i <= n; ++i) {
+        result *= BigNat(i);
+        if (result.bit_length() > max_bits)
+            throw std::overflow_error("BigNat::factorial: result exceeds max_bits");
+    }
+    return result;
+}
+
+std::uint64_t BigNat::bit_length() const noexcept {
+    if (limbs_.empty()) return 0;
+    std::uint32_t top = limbs_.back();
+    std::uint64_t bits = (limbs_.size() - 1) * 32ull;
+    while (top != 0) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+std::uint64_t BigNat::to_u64() const {
+    if (bit_length() > 64) throw std::overflow_error("BigNat::to_u64: value exceeds 64 bits");
+    std::uint64_t value = 0;
+    if (limbs_.size() >= 1) value = limbs_[0];
+    if (limbs_.size() >= 2) value |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+    return value;
+}
+
+double BigNat::log2_approx() const noexcept {
+    if (limbs_.empty()) return -std::numeric_limits<double>::infinity();
+    // Use the top (up to) 96 bits for the mantissa.
+    const std::size_t n = limbs_.size();
+    double mantissa = 0.0;
+    const std::size_t take = std::min<std::size_t>(3, n);
+    for (std::size_t i = 0; i < take; ++i)
+        mantissa = mantissa * 4294967296.0 + static_cast<double>(limbs_[n - 1 - i]);
+    const double shift = static_cast<double>((n - take) * 32);
+    return std::log2(mantissa) + shift;
+}
+
+BigNat& BigNat::operator+=(const BigNat& rhs) {
+    const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+    limbs_.resize(n, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry + limbs_[i];
+        if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+        limbs_[i] = static_cast<std::uint32_t>(sum & 0xffffffffu);
+        carry = sum >> 32;
+    }
+    if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+    return *this;
+}
+
+BigNat& BigNat::operator-=(const BigNat& rhs) {
+    if (*this < rhs) throw std::underflow_error("BigNat::operator-=: result would be negative");
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow;
+        if (i < rhs.limbs_.size()) diff -= rhs.limbs_[i];
+        if (diff < 0) {
+            diff += static_cast<std::int64_t>(kLimbBase);
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        limbs_[i] = static_cast<std::uint32_t>(diff);
+    }
+    PPSC_CHECK(borrow == 0);
+    trim();
+    return *this;
+}
+
+BigNat& BigNat::operator*=(const BigNat& rhs) {
+    if (is_zero() || rhs.is_zero()) {
+        limbs_.clear();
+        return *this;
+    }
+    std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t a = limbs_[i];
+        for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+            std::uint64_t v = a * rhs.limbs_[j] + out[i + j] + carry;
+            out[i + j] = static_cast<std::uint32_t>(v & 0xffffffffu);
+            carry = v >> 32;
+        }
+        std::size_t k = i + rhs.limbs_.size();
+        while (carry != 0) {
+            std::uint64_t v = out[k] + carry;
+            out[k] = static_cast<std::uint32_t>(v & 0xffffffffu);
+            carry = v >> 32;
+            ++k;
+        }
+    }
+    limbs_ = std::move(out);
+    trim();
+    return *this;
+}
+
+BigNat& BigNat::operator<<=(std::uint64_t bits) {
+    if (is_zero() || bits == 0) return *this;
+    const std::uint64_t limb_shift = bits / 32;
+    const std::uint32_t bit_shift = static_cast<std::uint32_t>(bits % 32);
+    std::vector<std::uint32_t> out(limbs_.size() + limb_shift + (bit_shift != 0 ? 1 : 0), 0);
+    for (std::size_t i = 0; i < limbs_.size(); ++i) {
+        const std::uint64_t v = static_cast<std::uint64_t>(limbs_[i]) << bit_shift;
+        out[i + limb_shift] |= static_cast<std::uint32_t>(v & 0xffffffffu);
+        if (bit_shift != 0) out[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+    }
+    limbs_ = std::move(out);
+    trim();
+    return *this;
+}
+
+BigNat& BigNat::operator>>=(std::uint64_t bits) {
+    if (is_zero()) return *this;
+    const std::uint64_t limb_shift = bits / 32;
+    if (limb_shift >= limbs_.size()) {
+        limbs_.clear();
+        return *this;
+    }
+    const std::uint32_t bit_shift = static_cast<std::uint32_t>(bits % 32);
+    const std::size_t n = limbs_.size() - limb_shift;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+        if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size())
+            v |= static_cast<std::uint64_t>(limbs_[i + limb_shift + 1]) << (32 - bit_shift);
+        limbs_[i] = static_cast<std::uint32_t>(v);
+    }
+    limbs_.resize(n);
+    trim();
+    return *this;
+}
+
+BigNat BigNat::pow(std::uint64_t exponent, std::uint64_t max_bits) const {
+    BigNat base = *this;
+    BigNat result(1);
+    while (exponent != 0) {
+        if (exponent & 1) {
+            result *= base;
+            if (result.bit_length() > max_bits)
+                throw std::overflow_error("BigNat::pow: result exceeds max_bits");
+        }
+        exponent >>= 1;
+        if (exponent != 0) {
+            base *= base;
+            if (base.bit_length() > max_bits)
+                throw std::overflow_error("BigNat::pow: intermediate exceeds max_bits");
+        }
+    }
+    return result;
+}
+
+BigNat BigNat::div_u32(std::uint32_t divisor, std::uint32_t& remainder) const {
+    if (divisor == 0) throw std::invalid_argument("BigNat::div_u32: division by zero");
+    BigNat quotient;
+    quotient.limbs_.resize(limbs_.size(), 0);
+    std::uint64_t rem = 0;
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        std::uint64_t cur = (rem << 32) | limbs_[i];
+        quotient.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+        rem = cur % divisor;
+    }
+    quotient.trim();
+    remainder = static_cast<std::uint32_t>(rem);
+    return quotient;
+}
+
+std::strong_ordering BigNat::operator<=>(const BigNat& rhs) const noexcept {
+    if (limbs_.size() != rhs.limbs_.size())
+        return limbs_.size() <=> rhs.limbs_.size();
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+    }
+    return std::strong_ordering::equal;
+}
+
+std::string BigNat::to_string() const {
+    if (is_zero()) return "0";
+    // Peel off 9 decimal digits at a time.
+    constexpr std::uint32_t kChunk = 1000000000u;
+    std::vector<std::uint32_t> chunks;
+    BigNat value = *this;
+    while (!value.is_zero()) {
+        std::uint32_t rem = 0;
+        value = value.div_u32(kChunk, rem);
+        chunks.push_back(rem);
+    }
+    std::string out = std::to_string(chunks.back());
+    for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+        std::string part = std::to_string(chunks[i]);
+        out += std::string(9 - part.size(), '0') + part;
+    }
+    return out;
+}
+
+std::string BigNat::to_display_string(std::size_t max_digits) const {
+    const double log10_value = log2_approx() * 0.30102999566398119521;
+    if (is_zero() || log10_value < static_cast<double>(max_digits)) return to_string();
+    const double exponent = std::floor(log10_value);
+    const double mantissa = std::pow(10.0, log10_value - exponent);
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "~%.3fe%.0f", mantissa, exponent);
+    return buffer;
+}
+
+}  // namespace ppsc

@@ -1,0 +1,37 @@
+// Lightweight invariant checking for the ppsc library.
+//
+// PPSC_CHECK is used for *internal* invariants: a failure indicates a bug in
+// this library, and throws std::logic_error (never undefined behaviour).
+// API misuse by callers is reported with std::invalid_argument at the
+// public-interface boundary instead; see the individual headers.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ppsc {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const std::string& message) {
+    std::ostringstream os;
+    os << "ppsc internal check failed: " << expr << " at " << file << ':' << line;
+    if (!message.empty()) os << " — " << message;
+    throw std::logic_error(os.str());
+}
+
+}  // namespace ppsc
+
+#define PPSC_CHECK(expr)                                              \
+    do {                                                              \
+        if (!(expr)) ::ppsc::check_failed(#expr, __FILE__, __LINE__, {}); \
+    } while (false)
+
+#define PPSC_CHECK_MSG(expr, msg)                                     \
+    do {                                                              \
+        if (!(expr)) {                                                \
+            std::ostringstream ppsc_check_os;                         \
+            ppsc_check_os << msg;                                     \
+            ::ppsc::check_failed(#expr, __FILE__, __LINE__, ppsc_check_os.str()); \
+        }                                                             \
+    } while (false)

@@ -1,0 +1,23 @@
+// Hashing utilities shared across the library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ppsc {
+
+/// Mixes `value` into `seed` (boost::hash_combine style, 64-bit constants).
+inline void hash_combine(std::size_t& seed, std::size_t value) noexcept {
+    seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+/// Hash of a vector of integers (FNV-ish via hash_combine).
+template <typename Int>
+std::size_t hash_int_vector(const std::vector<Int>& values) noexcept {
+    std::size_t seed = 0x243f6a8885a308d3ull ^ values.size();
+    for (const Int v : values) hash_combine(seed, static_cast<std::size_t>(v));
+    return seed;
+}
+
+}  // namespace ppsc

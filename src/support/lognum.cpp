@@ -1,0 +1,71 @@
+#include "support/lognum.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace ppsc {
+
+LogNum LogNum::from_u64(std::uint64_t value) {
+    if (value == 0) return LogNum();
+    return LogNum(std::log2(static_cast<long double>(value)));
+}
+
+LogNum LogNum::from_bignat(const BigNat& value) {
+    if (value.is_zero()) return LogNum();
+    return LogNum(static_cast<long double>(value.log2_approx()));
+}
+
+LogNum LogNum::power_of_two(const BigNat& exponent) {
+    // A long double holds ~2^16384; exponents beyond ~1e4900 saturate.
+    const double log2_of_exponent = exponent.log2_approx();
+    if (log2_of_exponent > 16300.0) return infinity();
+    long double e = 0.0L;
+    for (std::size_t i = exponent.limbs().size(); i-- > 0;)
+        e = e * 4294967296.0L + static_cast<long double>(exponent.limbs()[i]);
+    return LogNum(e);
+}
+
+LogNum LogNum::infinity() {
+    return LogNum(std::numeric_limits<long double>::infinity());
+}
+
+LogNum LogNum::operator*(const LogNum& rhs) const {
+    if (is_zero() || rhs.is_zero()) return LogNum();
+    return LogNum(log2_ + rhs.log2_);
+}
+
+LogNum LogNum::operator/(const LogNum& rhs) const {
+    if (is_zero()) return LogNum();
+    return LogNum(log2_ - rhs.log2_);
+}
+
+LogNum LogNum::operator+(const LogNum& rhs) const {
+    if (is_zero()) return rhs;
+    if (rhs.is_zero()) return *this;
+    const long double hi = std::max(log2_, rhs.log2_);
+    const long double lo = std::min(log2_, rhs.log2_);
+    if (hi - lo > 64.0L) return LogNum(hi);  // the smaller addend vanishes
+    return LogNum(hi + std::log2(1.0L + std::exp2(lo - hi)));
+}
+
+LogNum LogNum::pow(long double exponent) const {
+    if (is_zero()) return exponent == 0.0L ? LogNum(0.0L) : LogNum();
+    return LogNum(log2_ * exponent);
+}
+
+std::string LogNum::to_string() const {
+    if (is_zero()) return "0";
+    if (is_infinite()) return "inf";
+    char buffer[80];
+    if (log2_ <= 63.0L) {
+        const auto value = static_cast<unsigned long long>(std::llroundl(std::exp2(log2_)));
+        std::snprintf(buffer, sizeof buffer, "%llu", value);
+    } else if (log2_ < 1.0e6L) {
+        std::snprintf(buffer, sizeof buffer, "2^%.1Lf", log2_);
+    } else {
+        std::snprintf(buffer, sizeof buffer, "2^(~%.3Le)", log2_);
+    }
+    return buffer;
+}
+
+}  // namespace ppsc

@@ -1,0 +1,75 @@
+// Log-domain non-negative numbers for astronomical bounds.
+//
+// Several quantities in the paper — β = 2^(2(2n+1)!+1) (Definition 3), the
+// Theorem 5.9 bound 2^((2n+2)!), levels of the fast-growing hierarchy
+// (Theorem 4.5) — cannot be materialised even as BigNats for moderate n
+// (their *bit counts* overflow memory).  LogNum represents such values as
+// log₂(x) in a long double, which comfortably covers towers like
+// 2^(10^4000).  For doubly-astronomical values (where even log₂ overflows)
+// it saturates to +infinity and says so.
+//
+// Arithmetic: multiplication and powers are exact in log-domain (up to
+// floating-point rounding); addition uses log-sum-exp and is documented as
+// approximate.  Comparisons compare log values.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "support/bignat.hpp"
+
+namespace ppsc {
+
+class LogNum {
+public:
+    /// Zero.
+    LogNum() : log2_(-std::numeric_limits<long double>::infinity()) {}
+
+    /// From a machine integer.
+    static LogNum from_u64(std::uint64_t value);
+
+    /// From an exact BigNat.
+    static LogNum from_bignat(const BigNat& value);
+
+    /// The value 2^exponent where the exponent itself may be huge.
+    static LogNum power_of_two(long double exponent) { return LogNum(exponent); }
+
+    /// The value 2^e where e is an exact BigNat exponent (e.g. (2n+2)!).
+    static LogNum power_of_two(const BigNat& exponent);
+
+    /// Saturated "too large even for log-domain".
+    static LogNum infinity();
+
+    bool is_zero() const noexcept { return std::isinf(static_cast<double>(log2_)) && log2_ < 0; }
+    bool is_infinite() const noexcept { return std::isinf(static_cast<double>(log2_)) && log2_ > 0; }
+
+    /// log₂ of the value (the representation itself).
+    long double log2_value() const noexcept { return log2_; }
+
+    LogNum operator*(const LogNum& rhs) const;
+    LogNum operator/(const LogNum& rhs) const;
+
+    /// Approximate addition via log-sum-exp.
+    LogNum operator+(const LogNum& rhs) const;
+
+    /// this^e.
+    LogNum pow(long double exponent) const;
+
+    std::partial_ordering operator<=>(const LogNum& rhs) const noexcept {
+        return log2_ <=> rhs.log2_;
+    }
+    bool operator==(const LogNum& rhs) const noexcept { return log2_ == rhs.log2_; }
+
+    /// Rendering: exact-ish decimal for small values, "2^k" for large,
+    /// "2^(≈1.2e30)" for very large, "inf" when saturated.
+    std::string to_string() const;
+
+private:
+    explicit LogNum(long double log2) : log2_(log2) {}
+
+    long double log2_;
+};
+
+}  // namespace ppsc

@@ -1,0 +1,56 @@
+// Deterministic, fast random number generation for simulations.
+//
+// All stochastic components of the library (schedulers, workload
+// generators, the busy-beaver sampler) take an explicit Rng so that every
+// experiment is reproducible from its seed.  SplitMix64 passes BigCrush,
+// has a 64-bit state, and is trivially seedable — more than adequate for
+// protocol scheduling (we are not doing cryptography).
+#pragma once
+
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /// Next raw 64-bit value (SplitMix64).
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound). Requires bound > 0.
+    /// Lemire's nearly-divisionless method.
+    std::uint64_t below(std::uint64_t bound) noexcept {
+        PPSC_CHECK(bound > 0);
+        unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (low < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// True with probability p (0 ≤ p ≤ 1).
+    bool bernoulli(double p) noexcept { return uniform() < p; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace ppsc

@@ -1,0 +1,145 @@
+#include "verify/verifier.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+InputVerdict Verifier::verify_input(std::span<const AgentCount> input) const {
+    InputVerdict verdict;
+    verdict.input.assign(input.begin(), input.end());
+
+    const Config root = protocol_.initial_config(input);
+    const Config roots[] = {root};
+    const ReachabilityGraph graph = ReachabilityGraph::explore(protocol_, roots, options_);
+    verdict.explored_nodes = graph.num_nodes();
+
+    const auto scc = graph.compute_sccs();
+
+    // Consensus value of each bottom SCC: 0, 1, or -1 (none).
+    std::vector<std::int8_t> scc_value(static_cast<std::size_t>(scc.num_components), 2);
+    for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
+        const auto component = static_cast<std::size_t>(scc.component_of[node]);
+        if (!scc.is_bottom[component]) continue;
+        const std::optional<int> value = protocol_.consensus_output(graph.config(
+            static_cast<NodeId>(node)));
+        const std::int8_t v = value ? static_cast<std::int8_t>(*value) : std::int8_t{-1};
+        if (scc_value[component] == 2) {
+            scc_value[component] = v;
+        } else if (scc_value[component] != v) {
+            scc_value[component] = -1;
+        }
+    }
+
+    // Aggregate across bottom SCCs (all nodes in `graph` are reachable from
+    // the root by construction).
+    std::optional<int> agreed;
+    bool consistent = true;
+    for (std::size_t component = 0; component < scc_value.size(); ++component) {
+        if (!scc.is_bottom[component]) continue;
+        ++verdict.bottom_scc_count;
+        const std::int8_t v = scc_value[component];
+        if (v < 0) {
+            consistent = false;
+        } else if (!agreed) {
+            agreed = v;
+        } else if (*agreed != v) {
+            consistent = false;
+        }
+        if (!consistent && !verdict.counterexample) {
+            for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
+                if (static_cast<std::size_t>(scc.component_of[node]) == component) {
+                    verdict.counterexample = graph.config(static_cast<NodeId>(node));
+                    break;
+                }
+            }
+        }
+    }
+    PPSC_CHECK(verdict.bottom_scc_count > 0);
+
+    verdict.well_specified = consistent && agreed.has_value();
+    if (verdict.well_specified) verdict.computed = agreed;
+    return verdict;
+}
+
+InputVerdict Verifier::verify_input(AgentCount input) const {
+    const AgentCount values[] = {input};
+    return verify_input(values);
+}
+
+PredicateCheck Verifier::check_predicate(const Predicate& predicate, AgentCount min_input,
+                                         AgentCount max_input) const {
+    if (protocol_.input_variables().size() != 1)
+        throw std::invalid_argument(
+            "Verifier::check_predicate: protocol must have one input variable; use "
+            "check_predicate_all_tuples");
+    PredicateCheck check;
+    for (AgentCount i = std::max<AgentCount>(min_input, protocol_.is_leaderless() ? 2 : 0);
+         i <= max_input; ++i) {
+        if (protocol_.leaders().size() + i < 2) continue;
+        InputVerdict verdict = verify_input(i);
+        ++check.inputs_checked;
+        check.total_nodes += verdict.explored_nodes;
+        const bool expected = predicate.evaluate(i);
+        if (!verdict.well_specified || *verdict.computed != static_cast<int>(expected)) {
+            check.holds = false;
+            check.failures.push_back(std::move(verdict));
+        }
+    }
+    return check;
+}
+
+PredicateCheck Verifier::check_predicate_all_tuples(const Predicate& predicate,
+                                                    AgentCount max_population) const {
+    const std::size_t arity = protocol_.input_variables().size();
+    PredicateCheck check;
+    std::vector<AgentCount> tuple(arity, 0);
+    // Enumerate all tuples with component sum ≤ max_population.
+    auto recurse = [&](auto&& self, std::size_t var, AgentCount remaining) -> void {
+        if (var + 1 == arity) {
+            for (AgentCount c = 0; c <= remaining; ++c) {
+                tuple[var] = c;
+                AgentCount total = protocol_.leaders().size();
+                for (const AgentCount v : tuple) total += v;
+                if (total < 2) continue;
+                InputVerdict verdict = verify_input(tuple);
+                ++check.inputs_checked;
+                check.total_nodes += verdict.explored_nodes;
+                const bool expected = predicate.evaluate(tuple);
+                if (!verdict.well_specified ||
+                    *verdict.computed != static_cast<int>(expected)) {
+                    check.holds = false;
+                    check.failures.push_back(std::move(verdict));
+                }
+            }
+            return;
+        }
+        for (AgentCount c = 0; c <= remaining; ++c) {
+            tuple[var] = c;
+            self(self, var + 1, remaining - c);
+        }
+    };
+    if (arity > 0) recurse(recurse, 0, max_population);
+    return check;
+}
+
+std::optional<AgentCount> Verifier::infer_threshold(AgentCount max_input) const {
+    if (protocol_.input_variables().size() != 1) return std::nullopt;
+    std::optional<AgentCount> first_accept;
+    const AgentCount start = protocol_.is_leaderless() ? 2 : std::max<AgentCount>(
+        0, 2 - protocol_.leaders().size());
+    for (AgentCount i = std::max<AgentCount>(start, 0); i <= max_input; ++i) {
+        if (protocol_.leaders().size() + i < 2) continue;
+        const InputVerdict verdict = verify_input(i);
+        if (!verdict.well_specified) return std::nullopt;
+        if (*verdict.computed == 1) {
+            if (!first_accept) first_accept = i;
+        } else if (first_accept) {
+            return std::nullopt;  // 1 followed by 0: not a threshold pattern
+        }
+    }
+    return first_accept;
+}
+
+}  // namespace ppsc

@@ -1,0 +1,83 @@
+// Exhaustive verification of population protocols on bounded populations.
+//
+// Semantics: a fair execution of a finite system eventually enters a bottom
+// SCC of the reachability graph and then visits every configuration of that
+// SCC infinitely often.  Hence (Section 2.2):
+//
+//   * the executions from IC(v) *converge* to output b  ⇔  every bottom SCC
+//     reachable from IC(v) consists solely of b-consensus configurations;
+//   * the protocol is *well-specified at v* ⇔ that holds for some b;
+//   * the protocol computes φ on a set of inputs ⇔ for every input v in the
+//     set it converges to φ(v).
+//
+// This is exact for each checked input; it cannot by itself prove a
+// statement for *all* (infinitely many) inputs — callers choose the input
+// range and the reports say exactly what was checked.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/predicate.hpp"
+#include "core/protocol.hpp"
+#include "verify/reachability.hpp"
+
+namespace ppsc {
+
+struct InputVerdict {
+    std::vector<AgentCount> input;       ///< the checked input valuation
+    bool well_specified = false;         ///< all reachable bottom SCCs agree
+    std::optional<int> computed;         ///< the agreed output, if any
+    std::size_t explored_nodes = 0;
+    std::size_t bottom_scc_count = 0;
+    /// A configuration in a non-consensus / disagreeing bottom SCC
+    /// (diagnosis aid; empty when well-specified).
+    std::optional<Config> counterexample;
+};
+
+struct PredicateCheck {
+    bool holds = true;                    ///< all checked inputs correct
+    std::vector<InputVerdict> failures;   ///< wrong or ill-specified inputs
+    std::size_t inputs_checked = 0;
+    std::size_t total_nodes = 0;
+};
+
+class Verifier {
+public:
+    explicit Verifier(const Protocol& protocol, ReachabilityOptions options = {})
+        : protocol_(protocol), options_(options) {}
+
+    /// Exact verdict for one input valuation.
+    InputVerdict verify_input(std::span<const AgentCount> input) const;
+
+    /// Single-variable convenience.
+    InputVerdict verify_input(AgentCount input) const;
+
+    /// Checks `predicate` on every single-variable input in [min_input,
+    /// max_input] (single-input protocols).
+    PredicateCheck check_predicate(const Predicate& predicate, AgentCount min_input,
+                                   AgentCount max_input) const;
+
+    /// Checks `predicate` on every input tuple whose total population lies
+    /// in [2, max_population] (protocols with any number of variables).
+    PredicateCheck check_predicate_all_tuples(const Predicate& predicate,
+                                              AgentCount max_population) const;
+
+    /// For single-input protocols: if the verdicts on [2, max_input] form
+    /// the pattern 0…0 1…1, returns the threshold η (first accepted input;
+    /// η = 2 if everything accepted).  Returns nullopt if some input is
+    /// ill-specified, the pattern is broken, or everything is rejected.
+    /// This is the workhorse of the busy-beaver search (Definition 1).
+    std::optional<AgentCount> infer_threshold(AgentCount max_input) const;
+
+private:
+    // Owned copy: the verifier may outlive a temporary the caller built
+    // from (protocols are cheap values next to reachability graphs).
+    Protocol protocol_;
+    ReachabilityOptions options_;
+};
+
+}  // namespace ppsc

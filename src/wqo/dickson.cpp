@@ -1,0 +1,168 @@
+#include "wqo/dickson.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+namespace {
+
+bool leq(const NatVec& a, const NatVec& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i]) return false;
+    }
+    return true;
+}
+
+}  // namespace
+
+bool is_good_sequence(std::span<const NatVec> sequence) {
+    for (std::size_t i = 0; i < sequence.size(); ++i) {
+        for (std::size_t j = i + 1; j < sequence.size(); ++j) {
+            if (leq(sequence[i], sequence[j])) return true;
+        }
+    }
+    return false;
+}
+
+std::vector<NatVec> minimal_elements(std::span<const NatVec> vectors) {
+    std::vector<NatVec> minimal;
+    for (const NatVec& candidate : vectors) {
+        bool dominated = false;
+        for (const NatVec& other : vectors) {
+            if (&other != &candidate && leq(other, candidate) && other != candidate) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated &&
+            std::find(minimal.begin(), minimal.end(), candidate) == minimal.end())
+            minimal.push_back(candidate);
+    }
+    return minimal;
+}
+
+namespace {
+
+/// Memoized search.  A position is (index i, antichain A of minimal chosen
+/// vectors): the sequence may continue with any v with ∥v∥∞ ≤ i + δ that is
+/// not above an element of A, and only the minimal elements matter for the
+/// future.  Dickson's lemma guarantees every play is finite.
+struct Search {
+    int dimension;
+    std::int64_t delta;
+    std::uint64_t budget;
+    std::uint64_t nodes = 0;
+    bool exact = true;
+
+    using Key = std::vector<std::int64_t>;  // [i, sorted antichain flattened]
+    std::map<Key, std::size_t> memo;
+    // Best full witness reconstruction: store the chosen vector per state.
+    std::map<Key, NatVec> choice;
+
+    Key encode(std::int64_t index, const std::vector<NatVec>& antichain) const {
+        Key key{index};
+        std::vector<NatVec> sorted = antichain;
+        std::sort(sorted.begin(), sorted.end());
+        for (const NatVec& v : sorted) key.insert(key.end(), v.begin(), v.end());
+        return key;
+    }
+
+    std::size_t best_from(std::int64_t index, const std::vector<NatVec>& antichain) {
+        const Key key = encode(index, antichain);
+        if (auto it = memo.find(key); it != memo.end()) return it->second;
+        if (nodes >= budget) {
+            exact = false;
+            return 0;
+        }
+        ++nodes;
+
+        std::size_t best = 0;
+        NatVec best_choice;
+        const std::int64_t bound = index + delta;
+        NatVec candidate(static_cast<std::size_t>(dimension), 0);
+        // Enumerate candidates in [0, bound]^d, skipping those above an
+        // antichain element.
+        auto enumerate = [&](auto&& self, std::size_t coordinate) -> void {
+            if (coordinate == candidate.size()) {
+                for (const NatVec& earlier : antichain) {
+                    if (leq(earlier, candidate)) return;
+                }
+                std::vector<NatVec> extended;
+                extended.reserve(antichain.size() + 1);
+                // candidate is not above any element; it may be below some —
+                // drop those to keep the antichain minimal.
+                for (const NatVec& earlier : antichain) {
+                    if (!leq(candidate, earlier)) extended.push_back(earlier);
+                }
+                extended.push_back(candidate);
+                const std::size_t value = 1 + best_from(index + 1, extended);
+                if (value > best) {
+                    best = value;
+                    best_choice = candidate;
+                }
+                return;
+            }
+            for (std::int64_t v = 0; v <= bound; ++v) {
+                candidate[coordinate] = v;
+                self(self, coordinate + 1);
+            }
+            candidate[coordinate] = 0;
+        };
+        enumerate(enumerate, 0);
+
+        memo.emplace(key, best);
+        if (!best_choice.empty()) choice.emplace(key, best_choice);
+        return best;
+    }
+
+    /// Replays the memoized optimal choices to reconstruct a witness.
+    std::vector<NatVec> witness() {
+        std::vector<NatVec> sequence;
+        std::int64_t index = 0;
+        std::vector<NatVec> antichain;
+        while (true) {
+            const Key key = encode(index, antichain);
+            auto it = choice.find(key);
+            if (it == choice.end()) break;
+            auto best_it = memo.find(key);
+            if (best_it == memo.end() || best_it->second == 0) break;
+            const NatVec& chosen = it->second;
+            sequence.push_back(chosen);
+            std::vector<NatVec> extended;
+            for (const NatVec& earlier : antichain) {
+                if (!leq(chosen, earlier)) extended.push_back(earlier);
+            }
+            extended.push_back(chosen);
+            antichain = std::move(extended);
+            ++index;
+        }
+        return sequence;
+    }
+};
+
+}  // namespace
+
+BadSequenceResult longest_controlled_bad_sequence(int dimension, std::int64_t delta,
+                                                  const BadSequenceOptions& options) {
+    if (dimension < 1)
+        throw std::invalid_argument("longest_controlled_bad_sequence: dimension must be >= 1");
+    if (delta < 0)
+        throw std::invalid_argument("longest_controlled_bad_sequence: delta must be >= 0");
+
+    Search search{dimension, delta, options.max_nodes};
+    const std::size_t length = search.best_from(0, {});
+
+    BadSequenceResult result;
+    result.length = length;
+    result.witness = search.witness();
+    result.exact = search.exact;
+    result.nodes_explored = search.nodes;
+    PPSC_CHECK(!result.exact || result.witness.size() == result.length);
+    return result;
+}
+
+}  // namespace ppsc

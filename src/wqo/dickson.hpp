@@ -1,0 +1,47 @@
+// Dickson's lemma and controlled bad sequences (Section 4 of the paper).
+//
+// (N^d, ≤) is a well-quasi-order: every infinite sequence contains an
+// increasing pair (Lemma 4.3).  Bad sequences — those with no increasing
+// pair i < j, v_i ≤ v_j — are therefore finite, and when the sequence is
+// *controlled* (∥v_i∥∞ ≤ g(i) for a control function g) their maximal
+// length is a concrete, computable number.  Lemma 4.4 cites the
+// Figueira–Figueira–Schmitz–Schnoebelen bounds, which live at level F_ω of
+// the Fast Growing Hierarchy; this module computes the exact maximal
+// lengths for small dimensions and controls so the experiments can exhibit
+// the explosive growth the theory predicts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppsc {
+
+using NatVec = std::vector<std::int64_t>;
+
+/// True iff there exist i < j with v_i ≤ v_j componentwise ("good").
+bool is_good_sequence(std::span<const NatVec> sequence);
+
+/// ≤-minimal elements of a set (its canonical antichain).
+std::vector<NatVec> minimal_elements(std::span<const NatVec> vectors);
+
+struct BadSequenceResult {
+    std::size_t length = 0;        ///< longest bad sequence found
+    std::vector<NatVec> witness;   ///< a sequence attaining it
+    bool exact = false;            ///< search completed without budget cuts
+    std::uint64_t nodes_explored = 0;
+};
+
+struct BadSequenceOptions {
+    std::uint64_t max_nodes = 50'000'000;  ///< DFS budget
+};
+
+/// Longest bad sequence v_0, v_1, … in N^dimension with ∥v_i∥∞ ≤ i + delta
+/// (the linear control of Lemma 4.4 with g(i) = i + δ).  Exhaustive DFS;
+/// `exact` is false if the node budget was exhausted (the length is then a
+/// lower bound).  Throws std::invalid_argument if dimension < 1 or
+/// delta < 0.
+BadSequenceResult longest_controlled_bad_sequence(int dimension, std::int64_t delta,
+                                                  const BadSequenceOptions& options = {});
+
+}  // namespace ppsc

@@ -1,0 +1,85 @@
+#include "wqo/fast_growing.hpp"
+
+namespace ppsc {
+
+SatNat SatNat::operator+(const SatNat& rhs) const noexcept {
+    if (saturated_ || rhs.saturated_) return saturated();
+    const std::uint64_t sum = value_ + rhs.value_;
+    if (sum < value_ || sum > kCap) return saturated();
+    return SatNat(sum);
+}
+
+SatNat SatNat::operator*(const SatNat& rhs) const noexcept {
+    if (saturated_ || rhs.saturated_) return saturated();
+    if (value_ == 0 || rhs.value_ == 0) return SatNat(0);
+    if (value_ > kCap / rhs.value_) return saturated();
+    return SatNat(value_ * rhs.value_);
+}
+
+std::string SatNat::to_string() const {
+    if (saturated_) return ">=2^62";
+    return std::to_string(value_);
+}
+
+SatNat fast_growing(std::uint64_t level, std::uint64_t x) {
+    // Closed forms for the low levels — literal iteration of F_0 would take
+    // Θ(x) steps, i.e. forever once values reach 2^40.
+    switch (level) {
+        case 0:  // F_0(x) = x + 1
+            return SatNat(x) + SatNat(1);
+        case 1:  // F_1(x) = 2x + 1
+            return SatNat(2) * SatNat(x) + SatNat(1);
+        case 2: {  // F_2(x) = 2^(x+1)·(x+1) − 1
+            if (x + 1 >= 62) return SatNat::saturated();
+            const SatNat value = SatNat(1ull << (x + 1)) * SatNat(x + 1);
+            return value.is_saturated() ? value : SatNat(value.value() - 1);
+        }
+        default: {
+            // F_{k+1}(x) = F_k^{x+1}(x); saturation cuts the iteration off
+            // after at most a couple of steps for k ≥ 2.
+            SatNat value(x);
+            for (std::uint64_t i = 0; i <= x; ++i) {
+                if (value.is_saturated()) return SatNat::saturated();
+                value = fast_growing(level - 1, value.value());
+            }
+            return value;
+        }
+    }
+}
+
+SatNat fast_growing_omega(std::uint64_t x) {
+    return fast_growing(x, x);
+}
+
+SatNat ackermann(std::uint64_t m, std::uint64_t n) {
+    // Closed forms for the small rows keep the recursion shallow.
+    switch (m) {
+        case 0:
+            return SatNat(n) + SatNat(1);
+        case 1:
+            return SatNat(n) + SatNat(2);
+        case 2:
+            return SatNat(2) * SatNat(n) + SatNat(3);
+        case 3: {
+            // A(3, n) = 2^{n+3} − 3.
+            if (n + 3 >= 62) return SatNat::saturated();
+            return SatNat((1ull << (n + 3)) - 3);
+        }
+        default: {
+            // A(m, n) = A(m−1, A(m, n−1)).
+            SatNat inner = n == 0 ? SatNat(1) : ackermann(m, n - 1);
+            if (inner.is_saturated()) return SatNat::saturated();
+            return ackermann(m - 1, inner.value());
+        }
+    }
+}
+
+int inverse_ackermann(std::uint64_t n) {
+    for (int k = 0;; ++k) {
+        const SatNat value = ackermann(static_cast<std::uint64_t>(k),
+                                       static_cast<std::uint64_t>(k));
+        if (value.is_saturated() || value.value() >= n) return k;
+    }
+}
+
+}  // namespace ppsc

@@ -1,0 +1,64 @@
+// The Fast Growing Hierarchy and Ackermann functions (Theorem 4.5).
+//
+// Theorem 4.5 bounds BBL(n) by a function at level F_ω of the hierarchy —
+// values that explode past any fixed-precision number almost instantly.
+// We evaluate with explicit saturation: SatNat carries "overflowed" as a
+// first-class state, so experiments can print exact small values and
+// honest "≥ cap" markers instead of silently wrapping.
+//
+//   F_0(x) = x + 1
+//   F_{k+1}(x) = F_k^{x+1}(x)     ((x+1)-fold iteration)
+//   F_ω(x) = F_x(x)
+//
+// The two-argument Ackermann–Péter function is provided for the classic
+// inverse-Ackermann comparison in the experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ppsc {
+
+/// Saturating natural number: values above kCap become "saturated".
+class SatNat {
+public:
+    static constexpr std::uint64_t kCap = 1ull << 62;
+
+    SatNat() = default;
+    explicit SatNat(std::uint64_t value) : value_(value), saturated_(value > kCap) {}
+    static SatNat saturated() {
+        SatNat s;
+        s.saturated_ = true;
+        return s;
+    }
+
+    bool is_saturated() const noexcept { return saturated_; }
+
+    /// Value; meaningless when saturated (callers must check).
+    std::uint64_t value() const noexcept { return value_; }
+
+    SatNat operator+(const SatNat& rhs) const noexcept;
+    SatNat operator*(const SatNat& rhs) const noexcept;
+
+    std::string to_string() const;
+
+private:
+    std::uint64_t value_ = 0;
+    bool saturated_ = false;
+};
+
+/// F_level(x) with saturation.  level ≥ 0, x ≥ 0.
+SatNat fast_growing(std::uint64_t level, std::uint64_t x);
+
+/// F_ω(x) = F_x(x).
+SatNat fast_growing_omega(std::uint64_t x);
+
+/// Ackermann–Péter A(m, n) with saturation.
+SatNat ackermann(std::uint64_t m, std::uint64_t n);
+
+/// Inverse Ackermann α(n): least k with A(k, k) ≥ n.  Tiny for any
+/// physically meaningful n — the "roughly inverse-Ackermann" growth the
+/// paper's Theorem 4.5 lower bound translates to.
+int inverse_ackermann(std::uint64_t n);
+
+}  // namespace ppsc

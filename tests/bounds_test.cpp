@@ -1,0 +1,102 @@
+// Tests for the paper's bound formulas (Definitions 3/6, Lemma 3.2,
+// Theorems 2.2 and 5.9).
+#include <gtest/gtest.h>
+
+#include "bounds/paper_bounds.hpp"
+#include "protocols/threshold.hpp"
+
+namespace ppsc {
+namespace {
+
+TEST(PaperBounds, SmallBasisExponentExactValues) {
+    // 2(2n+1)!+1: n=1 -> 13, n=2 -> 241, n=3 -> 10081.
+    EXPECT_EQ(bounds::small_basis_exponent(1).to_u64(), 13u);
+    EXPECT_EQ(bounds::small_basis_exponent(2).to_u64(), 241u);
+    EXPECT_EQ(bounds::small_basis_exponent(3).to_u64(), 10081u);
+}
+
+TEST(PaperBounds, BetaExactForTinyN) {
+    const auto beta1 = bounds::small_basis_beta_exact(1);
+    ASSERT_TRUE(beta1.has_value());
+    EXPECT_EQ(beta1->to_u64(), 1ull << 13);
+    const auto beta3 = bounds::small_basis_beta_exact(3);
+    ASSERT_TRUE(beta3.has_value());
+    EXPECT_EQ(beta3->bit_length(), 10082u);
+    // n = 6: exponent 2·13!+1 ≈ 1.2e10 bits — not materialisable.
+    EXPECT_FALSE(bounds::small_basis_beta_exact(6).has_value());
+}
+
+TEST(PaperBounds, BetaLogDomainAgreesWithExact) {
+    const LogNum beta2 = bounds::small_basis_beta(2);
+    EXPECT_NEAR(static_cast<double>(beta2.log2_value()), 241.0, 1e-6);
+}
+
+TEST(PaperBounds, ThetaMatchesFactorialExponent) {
+    // ϑ(2) = 2^(6!) = 2^720.
+    EXPECT_NEAR(static_cast<double>(bounds::theta(2).log2_value()), 720.0, 1e-6);
+}
+
+TEST(PaperBounds, MaxTransitionsFormula) {
+    // n = 2: 3 pre-pairs × 2 non-silent successors = 6.
+    EXPECT_EQ(bounds::max_transitions(2).to_u64(), 6u);
+    // n = 3: 6 × 5 = 30.
+    EXPECT_EQ(bounds::max_transitions(3).to_u64(), 30u);
+}
+
+TEST(PaperBounds, Theorem59ChainHoldsForSmallN) {
+    for (std::size_t n = 2; n <= 7; ++n) {
+        const auto chain = bounds::theorem59_chain(n);
+        EXPECT_TRUE(chain.holds) << "n=" << n;
+        EXPECT_FALSE(chain.lhs.is_zero());
+        // The final bound dominates by an enormous margin.
+        if (!chain.rhs.is_infinite())
+            EXPECT_LT(static_cast<double>(chain.lhs.log2_value()),
+                      static_cast<double>(chain.rhs.log2_value()))
+                << "n=" << n;
+    }
+}
+
+TEST(PaperBounds, Theorem59ChainForConcreteProtocol) {
+    const Protocol p = protocols::collector_threshold(6);
+    const auto chain = bounds::theorem59_chain_for(p);
+    EXPECT_EQ(chain.n, p.num_states());
+    EXPECT_TRUE(chain.holds);
+    // The protocol's actual η = 6 sits astronomically below the bound.
+    EXPECT_GT(static_cast<double>(chain.rhs.log2_value()), 64.0);
+}
+
+TEST(PaperBounds, BusyBeaverLowerWitnesses) {
+    const auto lower5 = bounds::busy_beaver_lower(5);
+    EXPECT_EQ(lower5.unary_eta, 4);
+    EXPECT_EQ(lower5.binary_eta, 8);  // P'_3: states {0,1,2,4,8} = 5, eta = 8
+    EXPECT_GE(lower5.best(), 8);
+
+    // Ω(2^n) growth: doubling per extra state from the binary family.
+    const auto lower10 = bounds::busy_beaver_lower(10);
+    EXPECT_EQ(lower10.binary_eta, 256);
+    EXPECT_THROW(bounds::busy_beaver_lower(1), std::invalid_argument);
+}
+
+TEST(PaperBounds, CollectorLowerBoundIsConsistent) {
+    for (std::size_t n = 3; n <= 12; ++n) {
+        const auto lower = bounds::busy_beaver_lower(n);
+        if (lower.collector_eta > 0) {
+            EXPECT_LE(protocols::collector_threshold_states(lower.collector_eta), n)
+                << "n=" << n;
+        }
+    }
+}
+
+TEST(PaperBounds, BblLowerIsDoublyExponential) {
+    EXPECT_NEAR(static_cast<double>(bounds::bbl_lower(4).log2_value()), 16.0, 1e-9);
+    EXPECT_NEAR(static_cast<double>(bounds::bbl_lower(10).log2_value()), 1024.0, 1e-9);
+}
+
+TEST(PaperBounds, BblUpperDescriptionMentionsHierarchy) {
+    const std::string text = bounds::bbl_upper_description(3, 1);
+    EXPECT_NE(text.find("F_omega"), std::string::npos);
+    EXPECT_NE(text.find("Theorem 4.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ppsc

@@ -1,0 +1,187 @@
+// Unit tests for Protocol / ProtocolBuilder, including Example 2.1 of the
+// paper built by hand.
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ppsc {
+namespace {
+
+/// The protocol P_1 of Example 2.1 (k = 1): computes x >= 2 with states
+/// {0, 1, 2}, transitions a,b -> 0,a+b if a+b < 2 and a,b -> 2,2 otherwise.
+Protocol build_example21_p1() {
+    ProtocolBuilder b;
+    const StateId s0 = b.add_state("0", 0);
+    const StateId s1 = b.add_state("1", 0);
+    const StateId s2 = b.add_state("2", 1);
+    b.set_input("x", s1);
+    // a=0,b=0 -> 0,0 silent. a=0,b=1 -> 0,1 silent. a=1,b=1 -> 2,2.
+    b.add_transition(s1, s1, s2, s2);
+    // pairs involving 2: a+b >= 2 -> 2,2.
+    b.add_transition(s2, s0, s2, s2);
+    b.add_transition(s2, s1, s2, s2);
+    return std::move(b).build();
+}
+
+TEST(ProtocolBuilder, BuildsExample21) {
+    const Protocol p = build_example21_p1();
+    EXPECT_EQ(p.num_states(), 3u);
+    EXPECT_EQ(p.num_transitions(), 3u);
+    EXPECT_TRUE(p.is_leaderless());
+    EXPECT_EQ(p.input_variables().size(), 1u);
+    EXPECT_EQ(p.output(*p.find_state("2")), 1);
+    EXPECT_EQ(p.output(*p.find_state("1")), 0);
+}
+
+TEST(ProtocolBuilder, RejectsBadInput) {
+    ProtocolBuilder b;
+    EXPECT_THROW(b.add_state("A", 2), std::invalid_argument);
+    const StateId a = b.add_state("A", 0);
+    EXPECT_THROW(b.add_state("A", 0), std::invalid_argument);
+    EXPECT_THROW(b.add_state("", 0), std::invalid_argument);
+    EXPECT_THROW(b.add_transition(a, a, a, StateId{5}), std::invalid_argument);
+    EXPECT_THROW(b.set_input("x", StateId{9}), std::invalid_argument);
+    b.set_input("x", a);
+    EXPECT_THROW(b.set_input("x", a), std::invalid_argument);
+    EXPECT_THROW(b.add_leaders(a, 0), std::invalid_argument);
+}
+
+TEST(ProtocolBuilder, BuildWithoutStatesOrInputThrows) {
+    {
+        ProtocolBuilder b;
+        EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+    }
+    {
+        ProtocolBuilder b;
+        b.add_state("A", 0);
+        EXPECT_THROW(std::move(b).build(), std::invalid_argument);
+    }
+}
+
+TEST(ProtocolBuilder, SilentTransitionsAreIgnoredAndDuplicatesMerged) {
+    ProtocolBuilder b;
+    const StateId a = b.add_state("A", 0);
+    const StateId c = b.add_state("B", 0);
+    b.set_input("x", a);
+    b.add_transition(a, c, a, c);  // silent
+    b.add_transition(a, c, c, a);  // silent after canonicalisation
+    b.add_transition(a, a, c, c);
+    b.add_transition(a, a, c, c);  // duplicate
+    const Protocol p = std::move(b).build();
+    EXPECT_EQ(p.num_transitions(), 1u);
+    EXPECT_TRUE(p.pair_is_silent(a, c));
+    EXPECT_FALSE(p.pair_is_silent(a, a));
+}
+
+TEST(ProtocolBuilder, TransitionsCanonicalisedUnordered) {
+    ProtocolBuilder b;
+    const StateId a = b.add_state("A", 0);
+    const StateId c = b.add_state("B", 0);
+    const StateId d = b.add_state("C", 1);
+    b.set_input("x", a);
+    b.add_transition(c, a, d, a);  // stored as {A,B} -> {A,C}
+    const Protocol p = std::move(b).build();
+    ASSERT_EQ(p.num_transitions(), 1u);
+    const Transition& t = p.transitions()[0];
+    EXPECT_LE(t.pre1, t.pre2);
+    EXPECT_LE(t.post1, t.post2);
+    EXPECT_EQ(p.rules_for_pair(a, c).size(), 1u);
+    EXPECT_EQ(p.rules_for_pair(c, a).size(), 1u);
+}
+
+TEST(Protocol, InitialConfigLeaderless) {
+    const Protocol p = build_example21_p1();
+    const Config ic = p.initial_config(5);
+    EXPECT_EQ(ic.size(), 5);
+    EXPECT_EQ(ic[*p.find_state("1")], 5);
+    // Linearity for leaderless protocols (Section 2.2).
+    const Config ic2 = p.initial_config(2);
+    const Config ic3 = p.initial_config(3);
+    EXPECT_EQ(ic2 + ic3, ic);
+}
+
+TEST(Protocol, InitialConfigRequiresTwoAgents) {
+    const Protocol p = build_example21_p1();
+    EXPECT_THROW(p.initial_config(1), std::invalid_argument);
+    EXPECT_THROW(p.initial_config(-3), std::invalid_argument);
+}
+
+TEST(Protocol, InitialConfigWithLeaders) {
+    ProtocolBuilder b;
+    const StateId x = b.add_state("x", 0);
+    const StateId ell = b.add_state("L", 1);
+    b.set_input("x", x);
+    b.add_leaders(ell, 2);
+    const Protocol p = std::move(b).build();
+    EXPECT_FALSE(p.is_leaderless());
+    const Config ic = p.initial_config(3);
+    EXPECT_EQ(ic[x], 3);
+    EXPECT_EQ(ic[ell], 2);
+    EXPECT_EQ(ic.size(), 5);
+    // With leaders, IC(0) is still a valid configuration (two leader agents).
+    EXPECT_EQ(p.initial_config(0).size(), 2);
+}
+
+TEST(Protocol, ConsensusOutput) {
+    const Protocol p = build_example21_p1();
+    const StateId s0 = *p.find_state("0"), s1 = *p.find_state("1"), s2 = *p.find_state("2");
+    Config all_two(3);
+    all_two.set(s2, 4);
+    EXPECT_EQ(p.consensus_output(all_two), 1);
+    Config mixed(3);
+    mixed.set(s1, 1);
+    mixed.set(s2, 1);
+    EXPECT_EQ(p.consensus_output(mixed), std::nullopt);
+    Config zeros(3);
+    zeros.set(s0, 2);
+    zeros.set(s1, 1);
+    EXPECT_EQ(p.consensus_output(zeros), 0);
+    EXPECT_EQ(p.consensus_output(Config(3)), std::nullopt);
+}
+
+TEST(Protocol, EnabledAndFire) {
+    const Protocol p = build_example21_p1();
+    const StateId s1 = *p.find_state("1"), s2 = *p.find_state("2");
+    const Transition& doubling = p.transitions()[p.rules_for_pair(s1, s1).front()];
+
+    Config two_ones = Config::single(3, s1, 2);
+    EXPECT_TRUE(p.enabled(two_ones, doubling));
+    const Config after = p.fire(two_ones, doubling);
+    EXPECT_EQ(after[s2], 2);
+    EXPECT_EQ(after[s1], 0);
+    EXPECT_EQ(after.size(), 2);  // agent count conserved
+
+    Config one_one = Config::single(3, s1, 1);
+    EXPECT_FALSE(p.enabled(one_one, doubling));  // pairs need two agents
+}
+
+TEST(Protocol, DisplacementVectors) {
+    const Protocol p = build_example21_p1();
+    const StateId s1 = *p.find_state("1"), s2 = *p.find_state("2");
+    const Transition& doubling = p.transitions()[p.rules_for_pair(s1, s1).front()];
+    const auto delta = p.displacement(doubling);
+    EXPECT_EQ(delta[static_cast<std::size_t>(s1)], -2);
+    EXPECT_EQ(delta[static_cast<std::size_t>(s2)], 2);
+    // Displacements conserve the number of agents.
+    std::int64_t sum = 0;
+    for (auto d : delta) sum += d;
+    EXPECT_EQ(sum, 0);
+}
+
+TEST(Protocol, TextAndDotRenderings) {
+    const Protocol p = build_example21_p1();
+    const std::string text = p.to_text();
+    EXPECT_NE(text.find("3 states"), std::string::npos);
+    EXPECT_NE(text.find("leaderless"), std::string::npos);
+    const std::string dot = p.to_dot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(Protocol, FindStateMissingReturnsNullopt) {
+    const Protocol p = build_example21_p1();
+    EXPECT_EQ(p.find_state("missing"), std::nullopt);
+}
+
+}  // namespace
+}  // namespace ppsc

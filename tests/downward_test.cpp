@@ -1,0 +1,92 @@
+// Tests for the downward-closed set algebra (the paper's Section 3
+// representation of stable sets).
+#include "stable/downward.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/threshold.hpp"
+
+namespace ppsc {
+namespace {
+
+BasisElement element(std::vector<AgentCount> base, std::vector<StateId> pump) {
+    return BasisElement{Config::from_counts(std::move(base)), std::move(pump)};
+}
+
+TEST(DownwardClosedSet, EmptySetContainsNothing) {
+    DownwardClosedSet empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_FALSE(empty.contains(Config::from_counts({0, 0})));
+    EXPECT_EQ(empty.to_string(), "∅");
+}
+
+TEST(DownwardClosedSet, ClosureOfSingleConfig) {
+    const auto set = DownwardClosedSet::closure_of(Config::from_counts({2, 1}));
+    EXPECT_TRUE(set.contains(Config::from_counts({2, 1})));
+    EXPECT_TRUE(set.contains(Config::from_counts({0, 1})));
+    EXPECT_TRUE(set.contains(Config::from_counts({2, 0})));
+    EXPECT_FALSE(set.contains(Config::from_counts({3, 0})));
+    EXPECT_FALSE(set.contains(Config::from_counts({0, 2})));
+    EXPECT_EQ(set.norm(), 2);
+}
+
+TEST(DownwardClosedSet, PumpDirectionsAreUnbounded) {
+    const DownwardClosedSet set({element({1, 0, 2}, {0})});
+    EXPECT_TRUE(set.contains(Config::from_counts({100, 0, 2})));
+    EXPECT_TRUE(set.contains(Config::from_counts({100, 0, 1})));
+    EXPECT_FALSE(set.contains(Config::from_counts({100, 1, 2})));
+    EXPECT_FALSE(set.contains(Config::from_counts({0, 0, 3})));
+}
+
+TEST(DownwardClosedSet, NormalisationDropsSubsumedElements) {
+    // ({1,0}, {q0}) subsumes ({0,0}, {}) and ({3,0} ≤ pumped).
+    const DownwardClosedSet set({element({1, 0}, {0}), element({0, 0}, {}),
+                                 element({3, 0}, {0})});
+    // ({3,0},{q0}) and ({1,0},{q0}) denote the same set (mutual
+    // subsumption); exactly one representative survives — the first, with
+    // the smaller corner.
+    EXPECT_EQ(set.num_elements(), 1u);
+    EXPECT_EQ(set.norm(), 1);
+}
+
+TEST(DownwardClosedSet, UnionAndCovers) {
+    const DownwardClosedSet a({element({2, 0}, {1})});
+    const DownwardClosedSet b({element({0, 1}, {})});
+    const DownwardClosedSet both = a.unified_with(b);
+    EXPECT_TRUE(both.covers(a));
+    EXPECT_TRUE(both.covers(b));
+    EXPECT_FALSE(b.covers(a));
+    // b ⊆ a: (0,1) ≤ (2,0)+N^{q1}? (0,1): q1 excess 1 pumpable ✓.
+    EXPECT_TRUE(a.covers(b));
+    EXPECT_EQ(both.num_elements(), 1u);  // b got absorbed
+}
+
+TEST(DownwardClosedSet, EmpiricalBasisDenotesTheStableSet) {
+    // The empirical basis of SC_1 for unary_threshold(2), interpreted as a
+    // DownwardClosedSet, must contain exactly the 1-stable configurations
+    // of every computed slice... restricted to downward closure: SC_1 is
+    // {k·v2, k >= 2} plus all sub-configurations of those — which within a
+    // slice of fixed size is just {k·v2}.
+    const Protocol p = protocols::unary_threshold(2);
+    const StableAnalysis analysis(p, 6);
+    const DownwardClosedSet set(analysis.empirical_basis(1));
+    for (AgentCount population = 2; population <= 6; ++population) {
+        for (const Config& config : analysis.stable_configs(population, 1)) {
+            EXPECT_TRUE(set.contains(config)) << config.to_string();
+        }
+    }
+    // And it must not contain unstable configurations.
+    Config mixed(p.num_states());
+    mixed.set(*p.find_state("v1"), 1);
+    mixed.set(*p.find_state("v2"), 1);
+    EXPECT_FALSE(set.contains(mixed));
+}
+
+TEST(DownwardClosedSet, ToStringShowsStructure) {
+    const DownwardClosedSet set({element({2, 0}, {1})});
+    const std::string names[] = {"a", "b"};
+    EXPECT_EQ(set.to_string(names), "{2·a}+N^{b}");
+}
+
+}  // namespace
+}  // namespace ppsc

@@ -1,0 +1,80 @@
+// Tests for the protocol text format (parser + serialiser round trip).
+#include "core/protocol_parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "protocols/threshold.hpp"
+#include "verify/verifier.hpp"
+
+namespace ppsc {
+namespace {
+
+constexpr const char* kThreshold2 = R"(# x >= 2 detector
+state x 0
+state T 1
+input x -> x
+trans x x -> T T
+trans x T -> T T
+)";
+
+TEST(ProtocolParser, ParsesMinimalProtocol) {
+    const Protocol p = parse_protocol(kThreshold2);
+    EXPECT_EQ(p.num_states(), 2u);
+    EXPECT_EQ(p.num_transitions(), 2u);
+    EXPECT_TRUE(p.is_leaderless());
+    const Verifier verifier(p);
+    EXPECT_TRUE(verifier.check_predicate(Predicate::x_at_least(2), 2, 6).holds);
+}
+
+TEST(ProtocolParser, ParsesLeadersAndComments) {
+    const Protocol p = parse_protocol(R"(
+state x 0      # input token
+state l 0
+state T 1
+input x -> x
+leaders l 2
+trans l x -> T T
+trans T x -> T T
+trans T l -> T T
+)");
+    EXPECT_FALSE(p.is_leaderless());
+    EXPECT_EQ(p.leaders()[*p.find_state("l")], 2);
+}
+
+TEST(ProtocolParser, RoundTripsThroughFormat) {
+    const Protocol original = protocols::collector_threshold(5);
+    const Protocol reparsed = parse_protocol(format_protocol(original));
+    EXPECT_EQ(reparsed.num_states(), original.num_states());
+    EXPECT_EQ(reparsed.num_transitions(), original.num_transitions());
+    // Semantically identical: same verdicts on a range of inputs.
+    const Verifier v1(original), v2(reparsed);
+    for (AgentCount i = 2; i <= 8; ++i) {
+        EXPECT_EQ(v1.verify_input(i).computed, v2.verify_input(i).computed) << i;
+    }
+}
+
+TEST(ProtocolParser, ErrorsCarryLineNumbers) {
+    try {
+        parse_protocol("state a 0\nstate b 2\n");
+        FAIL() << "expected parse error";
+    } catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+    }
+}
+
+TEST(ProtocolParser, RejectsBrokenInputs) {
+    EXPECT_THROW(parse_protocol("bogus line\n"), std::invalid_argument);
+    EXPECT_THROW(parse_protocol("state a 0\ninput x -> missing\n"), std::invalid_argument);
+    EXPECT_THROW(parse_protocol("state a 0\ntrans a a ->\n"), std::invalid_argument);
+    EXPECT_THROW(parse_protocol("state a 0\nleaders a many\n"), std::invalid_argument);
+    EXPECT_THROW(parse_protocol("state a 0\n"), std::invalid_argument);  // no input
+    EXPECT_THROW(parse_protocol("state a 0\nstate a 1\ninput x -> a\n"),
+                 std::invalid_argument);  // duplicate state
+}
+
+TEST(ProtocolParser, EmptyFileFailsCleanly) {
+    EXPECT_THROW(parse_protocol(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppsc

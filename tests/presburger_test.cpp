@@ -1,0 +1,147 @@
+// Exhaustive verification of the Presburger-to-protocol compiler — the
+// constructive half of "population protocols compute exactly Presburger"
+// ([8] in the paper).  Every compiled protocol is model-checked against
+// its source predicate on all inputs up to a cutoff.
+#include <gtest/gtest.h>
+
+#include "protocols/compose.hpp"
+#include "protocols/linear_threshold.hpp"
+#include "protocols/modulo.hpp"
+#include "protocols/presburger.hpp"
+#include "verify/verifier.hpp"
+
+namespace ppsc {
+namespace {
+
+void expect_computes(const Protocol& protocol, const Predicate& predicate,
+                     AgentCount max_population) {
+    const Verifier verifier(protocol);
+    const PredicateCheck check =
+        verifier.check_predicate_all_tuples(predicate, max_population);
+    EXPECT_TRUE(check.holds) << predicate.to_string() << ": " << check.failures.size()
+                             << " of " << check.inputs_checked << " inputs failed";
+}
+
+// --- linear_threshold atoms ---------------------------------------------------
+
+TEST(LinearThreshold, SingleVariableThresholds) {
+    for (std::int64_t c = 1; c <= 4; ++c) {
+        expect_computes(protocols::linear_threshold({1}, c), Predicate::threshold({1}, c), 8);
+    }
+}
+
+TEST(LinearThreshold, MajorityViaGeneralConstruction) {
+    // x0 - x1 >= 1: strict majority, the canonical mixed-sign atom.
+    expect_computes(protocols::linear_threshold({1, -1}, 1), Predicate::majority(), 8);
+}
+
+TEST(LinearThreshold, WeightedMixedSigns) {
+    // 2·x0 - x1 >= 2.
+    expect_computes(protocols::linear_threshold({2, -1}, 2), Predicate::threshold({2, -1}, 2),
+                    7);
+}
+
+TEST(LinearThreshold, NonPositiveConstant) {
+    // x0 - 2·x1 >= -2: true on a co-finite-ish region including zero.
+    expect_computes(protocols::linear_threshold({1, -2}, -2),
+                    Predicate::threshold({1, -2}, -2), 7);
+}
+
+TEST(LinearThreshold, ZeroCoefficientVariableIsIgnored) {
+    // 0·x0 + x1 >= 2.
+    expect_computes(protocols::linear_threshold({0, 1}, 2), Predicate::threshold({0, 1}, 2), 7);
+}
+
+TEST(LinearThreshold, ThreeVariables) {
+    // x0 + x1 - x2 >= 2.
+    expect_computes(protocols::linear_threshold({1, 1, -1}, 2),
+                    Predicate::threshold({1, 1, -1}, 2), 6);
+}
+
+TEST(LinearThreshold, RegressionResidualHolderOscillation) {
+    // The configuration that broke the naive belief-recomputation design:
+    // coefficients {2, -1}, c = 2, input (2, 1) — a residual holder below c
+    // coexists with a saturated holder.  Must be well-specified and accept.
+    const Protocol p = protocols::linear_threshold({2, -1}, 2);
+    const Verifier verifier(p);
+    const AgentCount input[] = {2, 1};
+    const InputVerdict verdict = verifier.verify_input(input);
+    EXPECT_TRUE(verdict.well_specified);
+    EXPECT_EQ(verdict.computed, 1);  // 2·2 − 1 = 3 >= 2
+}
+
+TEST(LinearThreshold, RejectsOversizedParameters) {
+    EXPECT_THROW(protocols::linear_threshold({}, 1), std::invalid_argument);
+    EXPECT_THROW(protocols::linear_threshold({65}, 1), std::invalid_argument);
+    EXPECT_THROW(protocols::linear_threshold({1}, 100), std::invalid_argument);
+}
+
+// --- modulo_linear atoms --------------------------------------------------------
+
+TEST(ModuloLinear, WeightedCongruence) {
+    // x0 + 2·x1 ≡ 1 (mod 3).
+    expect_computes(protocols::modulo_linear({1, 2}, 3, 1), Predicate::modulo({1, 2}, 3, 1), 7);
+}
+
+TEST(ModuloLinear, NegativeCoefficientsReduceCorrectly) {
+    // x0 - x1 ≡ 0 (mod 2) — parity equality.
+    expect_computes(protocols::modulo_linear({1, -1}, 2, 0), Predicate::modulo({1, -1}, 2, 0),
+                    8);
+}
+
+// --- full compiler ----------------------------------------------------------------
+
+TEST(CompilePresburger, SimpleAtomsRoundTrip) {
+    const Predicate threshold = Predicate::threshold({1}, 3);
+    expect_computes(protocols::compile_presburger(threshold), threshold, 8);
+    const Predicate mod = Predicate::modulo({1}, 2, 1);
+    expect_computes(protocols::compile_presburger(mod), mod, 8);
+}
+
+TEST(CompilePresburger, Negation) {
+    // ¬(x >= 3) = x <= 2.
+    const Predicate predicate = Predicate::negation(Predicate::threshold({1}, 3));
+    expect_computes(protocols::compile_presburger(predicate), predicate, 8);
+}
+
+TEST(CompilePresburger, ConjunctionThresholdAndParity) {
+    // (x >= 2) ∧ (x ≡ 0 mod 2).
+    const Predicate predicate = Predicate::conjunction(Predicate::threshold({1}, 2),
+                                                       Predicate::modulo({1}, 2, 0));
+    expect_computes(protocols::compile_presburger(predicate), predicate, 7);
+}
+
+TEST(CompilePresburger, DisjunctionAcrossVariables) {
+    // (x0 - x1 >= 1) ∨ (x0 + x1 ≡ 0 mod 2): atoms of different shapes are
+    // padded to a common arity.
+    const Predicate predicate = Predicate::disjunction(Predicate::majority(),
+                                                       Predicate::modulo({1, 1}, 2, 0));
+    expect_computes(protocols::compile_presburger(predicate), predicate, 6);
+}
+
+TEST(CompilePresburger, NestedFormula) {
+    // ¬(x >= 3) ∧ (x ≡ 1 mod 2): "x is an odd number below 3".
+    const Predicate predicate = Predicate::conjunction(
+        Predicate::negation(Predicate::threshold({1}, 3)), Predicate::modulo({1}, 2, 1));
+    expect_computes(protocols::compile_presburger(predicate), predicate, 7);
+}
+
+TEST(CompilePresburger, StateCountPrediction) {
+    const Predicate predicate = Predicate::conjunction(Predicate::threshold({1}, 2),
+                                                       Predicate::modulo({1}, 2, 0));
+    const Protocol protocol = protocols::compile_presburger(predicate);
+    EXPECT_EQ(protocol.num_states(), protocols::compiled_state_count(predicate));
+}
+
+TEST(CompilePresburger, ArityZeroThrows) {
+    EXPECT_THROW(protocols::compile_presburger(Predicate::threshold({}, 0)),
+                 std::invalid_argument);
+}
+
+TEST(Negate, FlipsComputedPredicate) {
+    const Protocol p = protocols::negate(protocols::linear_threshold({1}, 3));
+    expect_computes(p, Predicate::negation(Predicate::threshold({1}, 3)), 8);
+}
+
+}  // namespace
+}  // namespace ppsc

@@ -1,0 +1,183 @@
+// Unit tests for BigNat: algebraic laws checked against 64-bit oracles,
+// plus the specific big values the paper's bounds need.
+#include "support/bignat.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace ppsc {
+namespace {
+
+TEST(BigNat, DefaultIsZero) {
+    BigNat zero;
+    EXPECT_TRUE(zero.is_zero());
+    EXPECT_EQ(zero.bit_length(), 0u);
+    EXPECT_EQ(zero.to_string(), "0");
+    EXPECT_EQ(zero.to_u64(), 0u);
+}
+
+TEST(BigNat, ConstructionFromU64) {
+    EXPECT_EQ(BigNat(1).to_u64(), 1u);
+    EXPECT_EQ(BigNat(0xffffffffull).to_u64(), 0xffffffffull);
+    EXPECT_EQ(BigNat(0x100000000ull).to_u64(), 0x100000000ull);
+    EXPECT_EQ(BigNat(UINT64_MAX).to_u64(), UINT64_MAX);
+}
+
+TEST(BigNat, DecimalRoundTrip) {
+    const char* cases[] = {"0", "1", "9", "10", "4294967295", "4294967296",
+                           "18446744073709551615", "18446744073709551616",
+                           "123456789012345678901234567890"};
+    for (const char* text : cases) {
+        EXPECT_EQ(BigNat::from_decimal(text).to_string(), text) << text;
+    }
+}
+
+TEST(BigNat, FromDecimalRejectsGarbage) {
+    EXPECT_THROW(BigNat::from_decimal(""), std::invalid_argument);
+    EXPECT_THROW(BigNat::from_decimal("12a"), std::invalid_argument);
+    EXPECT_THROW(BigNat::from_decimal("-1"), std::invalid_argument);
+}
+
+TEST(BigNat, AdditionMatchesU64Oracle) {
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng.next() >> 1;  // avoid overflow
+        const std::uint64_t b = rng.next() >> 1;
+        EXPECT_EQ((BigNat(a) + BigNat(b)).to_u64(), a + b);
+    }
+}
+
+TEST(BigNat, SubtractionMatchesU64Oracle) {
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        std::uint64_t a = rng.next();
+        std::uint64_t b = rng.next();
+        if (a < b) std::swap(a, b);
+        EXPECT_EQ((BigNat(a) - BigNat(b)).to_u64(), a - b);
+    }
+}
+
+TEST(BigNat, SubtractionUnderflowThrows) {
+    EXPECT_THROW(BigNat(3) - BigNat(4), std::underflow_error);
+}
+
+TEST(BigNat, MultiplicationMatchesU64Oracle) {
+    Rng rng(13);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t a = rng.next() & 0xffffffffull;
+        const std::uint64_t b = rng.next() & 0xffffffffull;
+        EXPECT_EQ((BigNat(a) * BigNat(b)).to_u64(), a * b);
+    }
+}
+
+TEST(BigNat, MultiplicationBySchoolbookIdentities) {
+    const BigNat big = BigNat::from_decimal("340282366920938463463374607431768211456");  // 2^128
+    EXPECT_EQ((big * BigNat(0)).to_string(), "0");
+    EXPECT_EQ((big * BigNat(1)).to_string(), big.to_string());
+    EXPECT_EQ((big * big).to_string(), BigNat::power_of_two(256).to_string());
+}
+
+TEST(BigNat, ShiftsMatchU64Oracle) {
+    Rng rng(17);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t a = rng.next() & 0xffffffffull;
+        const std::uint64_t s = rng.below(30);
+        EXPECT_EQ((BigNat(a) << s).to_u64(), a << s);
+        EXPECT_EQ((BigNat(a) >> s).to_u64(), a >> s);
+    }
+}
+
+TEST(BigNat, ShiftAcrossLimbBoundaries) {
+    const BigNat one(1);
+    for (std::uint64_t bits : {31u, 32u, 33u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+        const BigNat shifted = one << bits;
+        EXPECT_EQ(shifted.bit_length(), bits + 1) << bits;
+        EXPECT_EQ(shifted >> bits, one) << bits;
+    }
+}
+
+TEST(BigNat, PowerOfTwoHasExpectedBitLength) {
+    EXPECT_EQ(BigNat::power_of_two(0).to_u64(), 1u);
+    EXPECT_EQ(BigNat::power_of_two(10).to_u64(), 1024u);
+    EXPECT_EQ(BigNat::power_of_two(100000).bit_length(), 100001u);
+}
+
+TEST(BigNat, PowMatchesRepeatedMultiplication) {
+    const BigNat three(3);
+    BigNat expected(1);
+    for (int e = 0; e < 50; ++e) {
+        EXPECT_EQ(three.pow(static_cast<std::uint64_t>(e)), expected);
+        expected *= three;
+    }
+}
+
+TEST(BigNat, PowOverflowGuardThrows) {
+    EXPECT_THROW(BigNat(2).pow(1u << 30, /*max_bits=*/1024), std::overflow_error);
+}
+
+TEST(BigNat, FactorialSmallValues) {
+    const std::uint64_t expected[] = {1, 1, 2, 6, 24, 120, 720, 5040, 40320, 362880, 3628800};
+    for (std::uint64_t n = 0; n <= 10; ++n) {
+        EXPECT_EQ(BigNat::factorial(n).to_u64(), expected[n]) << n;
+    }
+}
+
+TEST(BigNat, Factorial30Exact) {
+    // 30! = 265252859812191058636308480000000
+    EXPECT_EQ(BigNat::factorial(30).to_string(), "265252859812191058636308480000000");
+}
+
+TEST(BigNat, ComparisonsAreTotalOrder) {
+    const BigNat a(5), b = BigNat::from_decimal("18446744073709551616"), c(5);
+    EXPECT_TRUE(a < b);
+    EXPECT_TRUE(b > a);
+    EXPECT_TRUE(a == c);
+    EXPECT_TRUE(a <= c);
+    EXPECT_TRUE(b >= a);
+}
+
+TEST(BigNat, Log2ApproxOnPowersOfTwo) {
+    for (std::uint64_t e : {1u, 10u, 64u, 1000u, 54321u}) {
+        EXPECT_NEAR(BigNat::power_of_two(e).log2_approx(), static_cast<double>(e), 1e-9) << e;
+    }
+}
+
+TEST(BigNat, ToU64OverflowThrows) {
+    EXPECT_THROW(BigNat::power_of_two(64).to_u64(), std::overflow_error);
+}
+
+TEST(BigNat, DivU32MatchesOracle) {
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t a = rng.next();
+        const std::uint32_t d = static_cast<std::uint32_t>(rng.below(1000000) + 1);
+        std::uint32_t rem = 0;
+        const BigNat q = BigNat(a).div_u32(d, rem);
+        EXPECT_EQ(q.to_u64(), a / d);
+        EXPECT_EQ(rem, a % d);
+    }
+}
+
+TEST(BigNat, DivByZeroThrows) {
+    std::uint32_t rem = 0;
+    EXPECT_THROW(BigNat(5).div_u32(0, rem), std::invalid_argument);
+}
+
+TEST(BigNat, DisplayStringSwitchesToScientific) {
+    EXPECT_EQ(BigNat(12345).to_display_string(), "12345");
+    const std::string huge = BigNat::power_of_two(1000).to_display_string();
+    EXPECT_EQ(huge.front(), '~');
+}
+
+// The paper's Theorem 5.9 exponent: (2n+2)! for small n, exact.
+TEST(BigNat, PaperExponentFactorials) {
+    EXPECT_EQ(BigNat::factorial(6).to_u64(), 720u);         // n=2: (2n+2)! = 6!
+    EXPECT_EQ(BigNat::factorial(8).to_u64(), 40320u);       // n=3
+    EXPECT_EQ(BigNat::factorial(10).to_u64(), 3628800u);    // n=4
+}
+
+}  // namespace
+}  // namespace ppsc

@@ -1,0 +1,82 @@
+// Unit tests for LogNum, the log-domain representation of the paper's
+// astronomical bounds.
+#include "support/lognum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/bignat.hpp"
+
+namespace ppsc {
+namespace {
+
+TEST(LogNum, ZeroBehaviour) {
+    LogNum zero;
+    EXPECT_TRUE(zero.is_zero());
+    EXPECT_EQ(zero.to_string(), "0");
+    EXPECT_TRUE((zero * LogNum::from_u64(7)).is_zero());
+    EXPECT_EQ((zero + LogNum::from_u64(7)).to_string(), "7");
+}
+
+TEST(LogNum, FromU64RoundTripsSmallValues) {
+    for (std::uint64_t v : {1ull, 2ull, 3ull, 100ull, 4096ull, 999999ull}) {
+        EXPECT_EQ(LogNum::from_u64(v).to_string(), std::to_string(v)) << v;
+    }
+}
+
+TEST(LogNum, MultiplicationAddsLogs) {
+    const LogNum a = LogNum::from_u64(1 << 10);
+    const LogNum b = LogNum::from_u64(1 << 12);
+    EXPECT_NEAR(static_cast<double>((a * b).log2_value()), 22.0, 1e-9);
+}
+
+TEST(LogNum, DivisionSubtractsLogs) {
+    const LogNum a = LogNum::power_of_two(100.0L);
+    const LogNum b = LogNum::power_of_two(40.0L);
+    EXPECT_NEAR(static_cast<double>((a / b).log2_value()), 60.0, 1e-9);
+}
+
+TEST(LogNum, PowScalesLogs) {
+    const LogNum a = LogNum::from_u64(2);
+    EXPECT_NEAR(static_cast<double>(a.pow(100).log2_value()), 100.0, 1e-9);
+}
+
+TEST(LogNum, AdditionApproximatesLogSumExp) {
+    const LogNum three = LogNum::from_u64(3) + LogNum::from_u64(5);
+    EXPECT_EQ(three.to_string(), "8");
+    // A vastly smaller addend vanishes.
+    const LogNum big = LogNum::power_of_two(500.0L) + LogNum::from_u64(1);
+    EXPECT_NEAR(static_cast<double>(big.log2_value()), 500.0, 1e-9);
+}
+
+TEST(LogNum, ComparisonsFollowMagnitude) {
+    EXPECT_TRUE(LogNum::from_u64(3) < LogNum::from_u64(5));
+    EXPECT_TRUE(LogNum::power_of_two(1000.0L) > LogNum::power_of_two(999.0L));
+}
+
+TEST(LogNum, FromBigNatAgreesWithLog2Approx) {
+    const BigNat big = BigNat::power_of_two(12345);
+    EXPECT_NEAR(static_cast<double>(LogNum::from_bignat(big).log2_value()), 12345.0, 1e-6);
+}
+
+TEST(LogNum, PowerOfTwoWithBigNatExponent) {
+    // 2^(8!) = 2^40320: representable in log-domain.
+    const LogNum bound = LogNum::power_of_two(BigNat::factorial(8));
+    EXPECT_NEAR(static_cast<double>(bound.log2_value()), 40320.0, 1e-6);
+    EXPECT_EQ(bound.to_string(), "2^40320.0");
+}
+
+TEST(LogNum, SaturatesOnDoublyAstronomicalExponent) {
+    // 2^(2^20000) cannot be held even in log-domain: exponent has 20001 bits.
+    const LogNum bound = LogNum::power_of_two(BigNat::power_of_two(20000));
+    EXPECT_TRUE(bound.is_infinite());
+    EXPECT_EQ(bound.to_string(), "inf");
+}
+
+TEST(LogNum, LargeRenderingStyles) {
+    EXPECT_EQ(LogNum::power_of_two(100.5L).to_string(), "2^100.5");
+    const std::string huge = LogNum::power_of_two(2.0e6L).to_string();
+    EXPECT_TRUE(huge.find("2^(~") == 0) << huge;
+}
+
+}  // namespace
+}  // namespace ppsc

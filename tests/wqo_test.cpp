@@ -1,0 +1,119 @@
+// Tests for Dickson's lemma utilities, controlled bad sequences, and the
+// fast-growing hierarchy (Section 4 substrate).
+#include <gtest/gtest.h>
+
+#include "wqo/dickson.hpp"
+#include "wqo/fast_growing.hpp"
+
+namespace ppsc {
+namespace {
+
+TEST(Dickson, GoodSequenceDetection) {
+    const std::vector<NatVec> good = {{2, 0}, {0, 2}, {1, 2}};  // (0,2) <= (1,2)
+    EXPECT_TRUE(is_good_sequence(good));
+    const std::vector<NatVec> bad = {{2, 0}, {1, 1}, {0, 2}};  // pairwise incomparable
+    EXPECT_FALSE(is_good_sequence(bad));
+    EXPECT_FALSE(is_good_sequence(std::vector<NatVec>{}));
+    EXPECT_FALSE(is_good_sequence(std::vector<NatVec>{{1, 1}}));
+}
+
+TEST(Dickson, MinimalElements) {
+    const std::vector<NatVec> vectors = {{2, 0}, {1, 1}, {2, 1}, {0, 3}, {1, 1}};
+    const auto minimal = minimal_elements(vectors);
+    EXPECT_EQ(minimal.size(), 3u);  // (2,0), (1,1), (0,3); (2,1) dominated
+    for (const auto& v : minimal) EXPECT_NE(v, (NatVec{2, 1}));
+}
+
+TEST(BadSequence, DimensionOneIsDeltaPlusOne) {
+    // In N¹ a bad sequence is strictly decreasing from at most δ: length δ+1.
+    for (std::int64_t delta = 0; delta <= 4; ++delta) {
+        const auto result = longest_controlled_bad_sequence(1, delta);
+        EXPECT_TRUE(result.exact);
+        EXPECT_EQ(result.length, static_cast<std::size_t>(delta) + 1) << "delta=" << delta;
+    }
+}
+
+TEST(BadSequence, WitnessIsActuallyBadAndControlled) {
+    const auto result = longest_controlled_bad_sequence(2, 1);
+    EXPECT_TRUE(result.exact);
+    EXPECT_FALSE(is_good_sequence(result.witness));
+    for (std::size_t i = 0; i < result.witness.size(); ++i) {
+        for (const auto c : result.witness[i])
+            EXPECT_LE(c, static_cast<std::int64_t>(i) + 1);
+    }
+}
+
+TEST(BadSequence, DimensionTwoGrowsMuchFasterThanDimensionOne) {
+    // The Figueira et al. phenomenon in miniature: the jump from d=1 to
+    // d=2 already produces a large blow-up of the maximal length.
+    const auto d1 = longest_controlled_bad_sequence(1, 1);
+    const auto d2 = longest_controlled_bad_sequence(2, 1);
+    ASSERT_TRUE(d1.exact);
+    ASSERT_TRUE(d2.exact);
+    EXPECT_EQ(d1.length, 2u);
+    EXPECT_GT(d2.length, 2 * d1.length);
+}
+
+TEST(BadSequence, RejectsBadParameters) {
+    EXPECT_THROW(longest_controlled_bad_sequence(0, 1), std::invalid_argument);
+    EXPECT_THROW(longest_controlled_bad_sequence(2, -1), std::invalid_argument);
+}
+
+TEST(BadSequence, BudgetTruncationIsReported) {
+    BadSequenceOptions tiny;
+    tiny.max_nodes = 10;
+    const auto result = longest_controlled_bad_sequence(2, 3, tiny);
+    EXPECT_FALSE(result.exact);
+}
+
+TEST(SatNat, ArithmeticSaturates) {
+    const SatNat big(SatNat::kCap - 1);
+    EXPECT_FALSE(big.is_saturated());
+    EXPECT_TRUE((big + big).is_saturated());
+    EXPECT_TRUE((big * SatNat(3)).is_saturated());
+    EXPECT_EQ((SatNat(6) * SatNat(7)).value(), 42u);
+    EXPECT_EQ(SatNat::saturated().to_string(), ">=2^62");
+}
+
+TEST(FastGrowing, SmallLevelsMatchClosedForms) {
+    // F_0(x) = x+1.
+    EXPECT_EQ(fast_growing(0, 5).value(), 6u);
+    // F_1(x) = 2x+1.
+    for (std::uint64_t x = 0; x <= 10; ++x) EXPECT_EQ(fast_growing(1, x).value(), 2 * x + 1);
+    // F_2(x) = 2^(x+1)(x+1) − 1.
+    for (std::uint64_t x = 0; x <= 6; ++x)
+        EXPECT_EQ(fast_growing(2, x).value(), ((x + 1) << (x + 1)) - 1) << x;
+}
+
+TEST(FastGrowing, LevelThreeExplodes) {
+    EXPECT_EQ(fast_growing(3, 1).value(), 2047u);
+    EXPECT_TRUE(fast_growing(3, 3).is_saturated());
+    EXPECT_TRUE(fast_growing_omega(3).is_saturated());
+    EXPECT_EQ(fast_growing_omega(2).value(), fast_growing(2, 2).value());
+}
+
+TEST(Ackermann, ClassicValues) {
+    EXPECT_EQ(ackermann(0, 0).value(), 1u);
+    EXPECT_EQ(ackermann(1, 1).value(), 3u);
+    EXPECT_EQ(ackermann(2, 2).value(), 7u);
+    EXPECT_EQ(ackermann(3, 3).value(), 61u);
+    EXPECT_EQ(ackermann(2, 3).value(), 9u);
+    EXPECT_EQ(ackermann(3, 0).value(), 5u);
+    EXPECT_TRUE(ackermann(4, 2).is_saturated());  // 2^65536 − 3
+}
+
+TEST(Ackermann, A41IsExact) {
+    // A(4,1) = 2^16 − 3 = 65533.
+    EXPECT_EQ(ackermann(4, 1).value(), 65533u);
+}
+
+TEST(InverseAckermann, IsTinyForHugeInputs) {
+    EXPECT_EQ(inverse_ackermann(1), 0);
+    EXPECT_EQ(inverse_ackermann(4), 2);
+    EXPECT_EQ(inverse_ackermann(60), 3);
+    EXPECT_EQ(inverse_ackermann(62), 4);
+    EXPECT_LE(inverse_ackermann(1ull << 62), 5);
+}
+
+}  // namespace
+}  // namespace ppsc
