@@ -1,13 +1,19 @@
 // Experiment E10 — simulator throughput and convergence-time scaling.
 //
-// google-benchmark microbenchmarks for the hot paths (interaction steps,
-// exhaustive verification) followed by the convergence-time series: mean
-// parallel time to stable consensus as the population grows, for the
-// succinct threshold protocol — the simulation-side context for the
-// paper's introduction (time/state trade-offs).
+// google-benchmark microbenchmarks for the hot paths (interaction
+// throughput of the batched engine, the single-step API, exhaustive
+// verification) followed by the convergence-time series: mean parallel
+// time to stable consensus as the population grows, for the succinct
+// threshold protocol — the simulation-side context for the paper's
+// introduction (time/state trade-offs).
+//
+// Flags (after the --benchmark_* flags): --skip-sweeps omits the E10a/E10b
+// convergence tables (used by bench/run_benchmarks.sh, which only wants
+// the JSON microbenchmark numbers).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 
 #include "protocols/threshold.hpp"
 #include "sim/experiment.hpp"
@@ -18,7 +24,32 @@ using namespace ppsc;
 
 namespace {
 
+// Throughput of the batched engine (Fenwick sampling + incremental silence
+// tracking + rejection-free silent-run skipping): interactions per second
+// along the exact scheduler-chain distribution.  When a trajectory reaches
+// silence the configuration restarts from IC, so the benchmark measures
+// sustained full-trajectory throughput.
 void BM_SimulatorStep(benchmark::State& state) {
+    const Protocol protocol = protocols::collector_threshold(1 << 20);
+    const Simulator simulator(protocol);
+    const auto population = static_cast<AgentCount>(state.range(0));
+    Config config = protocol.initial_config(population);
+    Rng rng(11);
+    constexpr std::uint64_t kBatch = 1 << 14;
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        const std::uint64_t done = simulator.run_batch(config, rng, kBatch);
+        executed += done;
+        if (done < kBatch) config = protocol.initial_config(population);  // went silent
+        benchmark::DoNotOptimize(config);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+}
+BENCHMARK(BM_SimulatorStep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+// The per-call single-step API (one interaction per call, cached Fenwick
+// sampler) — the seed's original benchmark, kept for regression tracking.
+void BM_SimulatorSingleStep(benchmark::State& state) {
     const Protocol protocol = protocols::collector_threshold(1 << 20);
     const Simulator simulator(protocol);
     Config config = protocol.initial_config(static_cast<AgentCount>(state.range(0)));
@@ -29,7 +60,7 @@ void BM_SimulatorStep(benchmark::State& state) {
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_SimulatorStep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+BENCHMARK(BM_SimulatorSingleStep)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
 
 void BM_FullRunToConsensus(benchmark::State& state) {
     const Protocol protocol = protocols::collector_threshold(50);
@@ -43,6 +74,22 @@ void BM_FullRunToConsensus(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_FullRunToConsensus)->Arg(256)->Arg(1024);
+
+// The trial-parallel convergence sweep (one row, 8 trials).  Wall-clock
+// scales with the worker count on multi-core hosts; per-trial results do
+// not depend on it.
+void BM_ConvergenceSweep(benchmark::State& state) {
+    const Protocol protocol = protocols::collector_threshold(32);
+    for (auto _ : state) {
+        ConvergenceSweepOptions options;
+        options.runs_per_size = 8;
+        options.parallelism = static_cast<unsigned>(state.range(0));
+        const auto rows = convergence_sweep(
+            protocol, {40}, [](AgentCount i) { return i >= 32 ? 1 : 0; }, options);
+        benchmark::DoNotOptimize(rows);
+    }
+}
+BENCHMARK(BM_ConvergenceSweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 void BM_ExhaustiveVerification(benchmark::State& state) {
     const Protocol protocol = protocols::unary_threshold(3);
@@ -58,18 +105,25 @@ BENCHMARK(BM_ExhaustiveVerification)->Arg(6)->Arg(10)->Arg(14);
 
 int main(int argc, char** argv) {
     benchmark::Initialize(&argc, argv);
+    bool skip_sweeps = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--skip-sweeps") == 0) skip_sweeps = true;
+    }
     benchmark::RunSpecifiedBenchmarks();
+    if (skip_sweeps) return 0;
 
     auto print_rows = [](const std::vector<ConvergenceRow>& rows) {
-        std::printf("%10s %8s %16s %16s %16s %9s\n", "population", "runs", "mean par.time",
+        std::printf("%10s %9s %16s %16s %16s %9s\n", "population", "runs", "mean par.time",
                     "stddev", "max", "correct");
         for (const auto& row : rows) {
-            std::printf("%10lld %5llu/%llu %16.1f %16.1f %16.1f %8.0f%%\n",
-                        static_cast<long long>(row.population),
-                        static_cast<unsigned long long>(row.converged_runs),
-                        static_cast<unsigned long long>(row.runs), row.mean_parallel_time,
-                        row.stddev_parallel_time, row.max_parallel_time,
-                        100.0 * row.correct_fraction);
+            char runs_column[32];
+            std::snprintf(runs_column, sizeof runs_column, "%llu/%llu",
+                          static_cast<unsigned long long>(row.converged_runs),
+                          static_cast<unsigned long long>(row.runs));
+            std::printf("%10lld %9s %16.1f %16.1f %16.1f %8.0f%%\n",
+                        static_cast<long long>(row.population), runs_column,
+                        row.mean_parallel_time, row.stddev_parallel_time,
+                        row.max_parallel_time, 100.0 * row.correct_fraction);
         }
     };
 

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark microbenchmarks and records the results as
+# BENCH_simulation.json at the repository root — the repo's perf
+# trajectory.  Re-run after any change to the simulation hot path and
+# commit the refreshed JSON alongside the change.
+#
+# Usage:  bench/run_benchmarks.sh [output.json]
+# Env:    BUILD_DIR (default: build)   — CMake build directory
+#         RUN_SWEEPS=1                 — also print the (slow) E10a/E10b
+#                                        convergence tables to stdout
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+OUT=${1:-BENCH_simulation.json}
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j --target bench_simulation
+
+SWEEP_FLAG=--skip-sweeps
+if [[ "${RUN_SWEEPS:-0}" == "1" ]]; then
+    SWEEP_FLAG=
+fi
+
+"$BUILD_DIR"/bench_simulation \
+    --benchmark_out="$OUT" \
+    --benchmark_out_format=json \
+    --benchmark_format=console \
+    $SWEEP_FLAG
+
+echo "wrote $OUT"

@@ -1,17 +1,30 @@
 #include "core/config.hpp"
 
+#include <atomic>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 namespace ppsc {
 
+std::uint64_t Config::next_version() noexcept {
+    static std::atomic<std::uint64_t> next_block{0};
+    thread_local std::uint64_t stamp = 0;
+    if ((stamp & 0xffffffffull) == 0)
+        stamp = next_block.fetch_add(1, std::memory_order_relaxed) << 32;
+    return ++stamp;
+}
+
 Config Config::from_counts(std::vector<AgentCount> counts) {
+    AgentCount total = 0;
     for (const AgentCount c : counts) {
         if (c < 0) throw std::invalid_argument("Config::from_counts: negative count");
+        total += c;
     }
     Config config(counts.size());
     config.counts_ = std::move(counts);
+    config.total_ = total;
+    config.version_ = next_version();
     return config;
 }
 
@@ -21,19 +34,20 @@ Config Config::single(std::size_t num_states, StateId state, AgentCount count) {
     return config;
 }
 
-AgentCount Config::size() const noexcept {
-    return std::accumulate(counts_.begin(), counts_.end(), AgentCount{0});
-}
-
 void Config::set(StateId state, AgentCount count) {
     if (count < 0) throw std::invalid_argument("Config::set: negative count");
-    counts_.at(static_cast<std::size_t>(state)) = count;
+    AgentCount& slot = counts_.at(static_cast<std::size_t>(state));
+    total_ += count - slot;
+    slot = count;
+    version_ = next_version();
 }
 
 void Config::add(StateId state, AgentCount delta) {
     AgentCount& slot = counts_.at(static_cast<std::size_t>(state));
     if (slot + delta < 0) throw std::invalid_argument("Config::add: count would go negative");
     slot += delta;
+    total_ += delta;
+    version_ = next_version();
 }
 
 std::vector<StateId> Config::support() const {
@@ -63,6 +77,8 @@ Config& Config::operator+=(const Config& rhs) {
     if (counts_.size() != rhs.counts_.size())
         throw std::invalid_argument("Config::operator+=: dimension mismatch");
     for (std::size_t q = 0; q < counts_.size(); ++q) counts_[q] += rhs.counts_[q];
+    total_ += rhs.total_;
+    version_ = next_version();
     return *this;
 }
 
@@ -72,14 +88,18 @@ Config& Config::operator-=(const Config& rhs) {
     for (std::size_t q = 0; q < counts_.size(); ++q) {
         if (counts_[q] < rhs.counts_[q])
             throw std::invalid_argument("Config::operator-=: count would go negative");
-        counts_[q] -= rhs.counts_[q];
     }
+    for (std::size_t q = 0; q < counts_.size(); ++q) counts_[q] -= rhs.counts_[q];
+    total_ -= rhs.total_;
+    version_ = next_version();
     return *this;
 }
 
 Config& Config::operator*=(AgentCount factor) {
     if (factor < 0) throw std::invalid_argument("Config::operator*=: negative factor");
     for (auto& c : counts_) c *= factor;
+    total_ *= factor;
+    version_ = next_version();
     return *this;
 }
 

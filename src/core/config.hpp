@@ -4,6 +4,12 @@
 // in it (Section 2.2 of the paper).  The representation is a dense count
 // vector — protocols in this library have at most a few hundred states, so
 // dense wins on locality and hashing.  Config is a regular value type.
+//
+// Two hot-path affordances for the simulator:
+//   * |C| is cached and maintained incrementally, so size() is O(1);
+//   * every mutation stamps a fresh, per-thread-unique version() — samplers
+//     keyed on (address, version) can detect external modification without
+//     rescanning the counts.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +17,10 @@
 #include <initializer_list>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "support/check.hpp"
 #include "support/hash.hpp"
 
 namespace ppsc {
@@ -25,6 +33,25 @@ public:
     /// The empty configuration over `num_states` states.
     explicit Config(std::size_t num_states) : counts_(num_states, 0) {}
 
+    Config(const Config& other) : counts_(other.counts_), total_(other.total_) {}
+    Config(Config&& other) noexcept
+        : counts_(std::move(other.counts_)), total_(other.total_) {
+        other.total_ = 0;  // keep size()==Σcounts on the moved-from shell
+    }
+    Config& operator=(const Config& other) {
+        counts_ = other.counts_;
+        total_ = other.total_;
+        version_ = next_version();
+        return *this;
+    }
+    Config& operator=(Config&& other) noexcept {
+        counts_ = std::move(other.counts_);
+        total_ = other.total_;
+        other.total_ = 0;  // keep size()==Σcounts on the moved-from shell
+        version_ = next_version();
+        return *this;
+    }
+
     /// From explicit counts. Throws std::invalid_argument on negative counts.
     static Config from_counts(std::vector<AgentCount> counts);
 
@@ -33,12 +60,17 @@ public:
 
     std::size_t num_states() const noexcept { return counts_.size(); }
 
-    /// |C| — the total number of agents.
-    AgentCount size() const noexcept;
+    /// |C| — the total number of agents.  O(1): maintained incrementally.
+    AgentCount size() const noexcept { return total_; }
 
-    AgentCount operator[](StateId state) const { return counts_.at(static_cast<std::size_t>(state)); }
+    /// Unchecked hot-path access (bounds-asserted in debug builds only).
+    AgentCount operator[](StateId state) const {
+        PPSC_DASSERT(state >= 0 && static_cast<std::size_t>(state) < counts_.size());
+        return counts_[static_cast<std::size_t>(state)];
+    }
 
-    /// Sets the count of one state. Throws std::invalid_argument on negative.
+    /// Sets the count of one state. Throws std::invalid_argument on negative,
+    /// std::out_of_range on a bad state id.
     void set(StateId state, AgentCount count);
 
     /// Adds `delta` agents (may be negative). Throws std::invalid_argument
@@ -66,9 +98,16 @@ public:
     friend Config operator*(Config lhs, AgentCount factor) { return lhs *= factor; }
     friend Config operator*(AgentCount factor, Config rhs) { return rhs *= factor; }
 
-    bool operator==(const Config& rhs) const noexcept = default;
+    /// Value equality on the counts (the version stamp does not participate).
+    bool operator==(const Config& rhs) const noexcept { return counts_ == rhs.counts_; }
 
     const std::vector<AgentCount>& counts() const noexcept { return counts_; }
+
+    /// Mutation stamp: changes on every mutation and is unique across the
+    /// whole process, so `(address, version)` identifies one value of one
+    /// live object even when configurations migrate between threads.  Used
+    /// by Simulator to cache its incremental sampler.
+    std::uint64_t version() const noexcept { return version_; }
 
     std::size_t hash() const noexcept { return hash_int_vector(counts_); }
 
@@ -76,7 +115,14 @@ public:
     std::string to_string(std::span<const std::string> names = {}) const;
 
 private:
+    // Process-unique stamps without per-mutation contention: each thread
+    // draws 2³²-stamp blocks from one global atomic and counts through its
+    // block locally (a thread exhausting a block just draws the next one).
+    static std::uint64_t next_version() noexcept;
+
     std::vector<AgentCount> counts_;
+    AgentCount total_ = 0;
+    std::uint64_t version_ = next_version();
 };
 
 struct ConfigHash {

@@ -30,13 +30,6 @@ std::optional<StateId> Protocol::find_state(std::string_view name) const {
     return it->second;
 }
 
-std::span<const TransitionId> Protocol::rules_for_pair(StateId p, StateId q) const {
-    sort_pair(p, q);
-    const std::size_t idx = pair_index(p, q);
-    PPSC_CHECK(idx < pair_rules_.size());
-    return pair_rules_[idx];
-}
-
 bool Protocol::is_leaderless() const noexcept {
     return leaders_.size() == 0;
 }
@@ -229,12 +222,27 @@ Protocol ProtocolBuilder::build() && {
     for (const auto& [state, count] : leaders_) leaders.add(state, count);
     p.leaders_ = std::move(leaders);
 
+    // Build the CSR rule table: count rules per pair, prefix-sum into
+    // offsets, then fill.  TransitionIds stay ordered within a pair (fill
+    // order follows transition order), matching the old nested layout.
     const std::size_t n = p.names_.size();
-    p.pair_rules_.assign(n * (n + 1) / 2, {});
+    const std::size_t num_pairs = n * (n + 1) / 2;
+    p.pair_offsets_.assign(num_pairs + 1, 0);
+    for (const Transition& t : p.transitions_)
+        ++p.pair_offsets_[Protocol::pair_index(t.pre1, t.pre2) + 1];
+    for (std::size_t i = 1; i <= num_pairs; ++i)
+        p.pair_offsets_[i] += p.pair_offsets_[i - 1];
+    p.pair_rule_ids_.resize(p.transitions_.size());
+    std::vector<std::uint32_t> cursor(p.pair_offsets_.begin(), p.pair_offsets_.end() - 1);
     for (std::size_t i = 0; i < p.transitions_.size(); ++i) {
         const Transition& t = p.transitions_[i];
-        p.pair_rules_[Protocol::pair_index(t.pre1, t.pre2)].push_back(
-            static_cast<TransitionId>(i));
+        p.pair_rule_ids_[cursor[Protocol::pair_index(t.pre1, t.pre2)]++] =
+            static_cast<TransitionId>(i);
+    }
+    p.pair_silent_bits_.assign((num_pairs + 63) / 64, 0);
+    for (std::size_t i = 0; i < num_pairs; ++i) {
+        if (p.pair_offsets_[i] == p.pair_offsets_[i + 1])
+            p.pair_silent_bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
     }
     return p;
 }

@@ -24,9 +24,11 @@
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
+#include "support/check.hpp"
 
 namespace ppsc {
 
@@ -66,10 +68,26 @@ public:
 
     /// Non-silent successor pairs of the unordered pair {p, q} as indices
     /// into transitions().  Empty span ⇒ the pair is silent.
-    std::span<const TransitionId> rules_for_pair(StateId p, StateId q) const;
+    ///
+    /// Hot path: the rules live in a CSR layout (one offsets array + one
+    /// flat id array indexed by the triangular pair index), so a lookup is
+    /// two adjacent array reads with no pointer chasing.
+    std::span<const TransitionId> rules_for_pair(StateId p, StateId q) const {
+        if (p > q) std::swap(p, q);
+        const std::size_t idx = pair_index(p, q);
+        PPSC_DASSERT(idx + 1 < pair_offsets_.size());
+        const std::uint32_t begin = pair_offsets_[idx];
+        const std::uint32_t end = pair_offsets_[idx + 1];
+        return {pair_rule_ids_.data() + begin, static_cast<std::size_t>(end - begin)};
+    }
 
-    /// True iff {p,q} has no non-silent rule.
-    bool pair_is_silent(StateId p, StateId q) const { return rules_for_pair(p, q).empty(); }
+    /// True iff {p,q} has no non-silent rule.  O(1) precomputed bitset test.
+    bool pair_is_silent(StateId p, StateId q) const {
+        if (p > q) std::swap(p, q);
+        const std::size_t idx = pair_index(p, q);
+        PPSC_DASSERT((idx >> 6) < pair_silent_bits_.size());
+        return (pair_silent_bits_[idx >> 6] >> (idx & 63)) & 1u;
+    }
 
     /// Leader multiset L (all-zero for leaderless protocols).
     const Config& leaders() const noexcept { return leaders_; }
@@ -117,7 +135,12 @@ private:
     std::vector<std::string> names_;
     std::vector<std::uint8_t> outputs_;
     std::vector<Transition> transitions_;
-    std::vector<std::vector<TransitionId>> pair_rules_;  // by pair_index
+    // CSR rule table over triangular pair indices: the rules of pair i are
+    // pair_rule_ids_[pair_offsets_[i] .. pair_offsets_[i+1]).  The silent
+    // bitset answers pair_is_silent without touching the offsets.
+    std::vector<std::uint32_t> pair_offsets_;
+    std::vector<TransitionId> pair_rule_ids_;
+    std::vector<std::uint64_t> pair_silent_bits_;
     std::vector<std::string> input_names_;
     std::vector<StateId> input_states_;
     Config leaders_;

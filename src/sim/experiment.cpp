@@ -1,43 +1,103 @@
 #include "sim/experiment.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <functional>
+#include <optional>
+#include <thread>
 
 #include "sim/stats.hpp"
 
 namespace ppsc {
+
+namespace {
+
+struct TrialResult {
+    bool converged = false;
+    double parallel_time = 0.0;
+    std::optional<int> output;
+};
+
+}  // namespace
 
 std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
                                               const std::vector<AgentCount>& populations,
                                               const std::function<int(AgentCount)>& expected,
                                               const ConvergenceSweepOptions& options) {
     const Simulator simulator(protocol);
+    const std::uint64_t runs = options.runs_per_size;
+    const std::size_t total_trials = populations.size() * static_cast<std::size_t>(runs);
+
+    // Every trial is fully determined by its (population, repetition) seed,
+    // so trials can run in any order on any thread; results land in a
+    // per-trial slot and are aggregated serially afterwards, keeping the
+    // rows (including floating-point accumulation order) identical to the
+    // serial sweep.
+    std::vector<TrialResult> trials(total_trials);
+    const auto run_trial = [&](std::size_t index) {
+        const AgentCount population = populations[index / runs];
+        const std::uint64_t r = index % runs;
+        // One independent stream per (size, repetition) pair.
+        Rng rng(options.seed ^ (static_cast<std::uint64_t>(population) << 20) ^ r);
+        const SimulationResult result =
+            simulator.run_input(population, rng, options.simulation);
+        trials[index] = {result.converged, result.parallel_time, result.output};
+    };
+
+    unsigned workers = options.parallelism != 0
+                           ? options.parallelism
+                           : std::max(1u, std::thread::hardware_concurrency());
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers, std::max<std::size_t>(total_trials, 1)));
+
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < total_trials; ++i) run_trial(i);
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::exception_ptr> errors(workers);
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                try {
+                    for (std::size_t i = next.fetch_add(1); i < total_trials;
+                         i = next.fetch_add(1))
+                        run_trial(i);
+                } catch (...) {
+                    errors[w] = std::current_exception();
+                }
+            });
+        }
+        for (std::thread& t : pool) t.join();
+        for (const std::exception_ptr& e : errors) {
+            if (e) std::rethrow_exception(e);
+        }
+    }
+
     std::vector<ConvergenceRow> rows;
     rows.reserve(populations.size());
-    for (const AgentCount population : populations) {
+    for (std::size_t pi = 0; pi < populations.size(); ++pi) {
+        const AgentCount population = populations[pi];
         RunningStats time_stats;
         std::uint64_t converged = 0, correct = 0;
-        for (std::uint64_t r = 0; r < options.runs_per_size; ++r) {
-            // One independent stream per (size, repetition) pair.
-            Rng rng(options.seed ^ (static_cast<std::uint64_t>(population) << 20) ^ r);
-            const SimulationResult result =
-                simulator.run_input(population, rng, options.simulation);
-            if (result.converged) {
+        for (std::uint64_t r = 0; r < runs; ++r) {
+            const TrialResult& trial = trials[pi * runs + r];
+            if (trial.converged) {
                 ++converged;
-                time_stats.add(result.parallel_time);
+                time_stats.add(trial.parallel_time);
             }
-            if (result.output && *result.output == expected(population)) ++correct;
+            if (trial.output && *trial.output == expected(population)) ++correct;
         }
         ConvergenceRow row;
         row.population = population;
-        row.runs = options.runs_per_size;
+        row.runs = runs;
         row.converged_runs = converged;
         row.mean_parallel_time = time_stats.mean();
         row.stddev_parallel_time = time_stats.stddev();
         row.max_parallel_time = time_stats.max();
-        row.correct_fraction = options.runs_per_size == 0
-                                   ? 0.0
-                                   : static_cast<double>(correct) /
-                                         static_cast<double>(options.runs_per_size);
+        row.correct_fraction =
+            runs == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(runs);
         rows.push_back(row);
     }
     return rows;

@@ -1,6 +1,11 @@
 // Repeatable simulation experiments: convergence-time sweeps over
 // population sizes, used by bench_simulation (experiment E10) and the
 // examples.
+//
+// Trials are independent and seeded per (population, repetition) pair, so
+// the sweep parallelises across worker threads without changing any
+// per-trial result: the rows produced are bit-identical for every
+// `parallelism` setting, including the serial path.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,9 @@ struct ConvergenceSweepOptions {
     std::uint64_t runs_per_size = 20;
     std::uint64_t seed = 0x5eed;
     SimulationOptions simulation;
+    /// Worker threads running trials: 1 = serial, 0 = one per hardware
+    /// thread.  The produced rows do not depend on this setting.
+    unsigned parallelism = 0;
 };
 
 /// Runs `runs_per_size` seeded simulations of IC(i) for each population

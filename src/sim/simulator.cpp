@@ -1,13 +1,27 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "support/check.hpp"
 
 namespace ppsc {
 
+namespace {
+
+/// The scheduler resolves transition nondeterminism uniformly.
+TransitionId choose_rule(std::span<const TransitionId> rules, Rng& rng) {
+    return rules.size() == 1 ? rules[0]
+                             : rules[static_cast<std::size_t>(rng.below(rules.size()))];
+}
+
+}  // namespace
+
 Simulator::Simulator(const Protocol& protocol) : protocol_(protocol) {
     compute_output_traps();
+    build_pair_structure();
 }
 
 void Simulator::compute_output_traps() {
@@ -41,6 +55,42 @@ void Simulator::compute_output_traps() {
     }
 }
 
+void Simulator::build_pair_structure() {
+    // The distinct non-silent pre-pairs, as both a flat list (for
+    // weight-proportional pair sampling on fired steps) and a CSR adjacency
+    // of the non-self "has a rule with" relation (for incremental
+    // partner-weight maintenance).
+    const std::size_t n = protocol_.num_states();
+    self_rule_.assign(n, 0);
+    nonsilent_pairs_.clear();
+    std::unordered_set<std::uint64_t> seen;
+    std::vector<std::uint32_t> degree(n, 0);
+    for (const Transition& t : protocol_.transitions()) {
+        const StateId p = t.pre1, q = t.pre2;  // canonical: p ≤ q
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) << 32) |
+            static_cast<std::uint32_t>(q);
+        if (!seen.insert(key).second) continue;
+        nonsilent_pairs_.emplace_back(p, q);
+        if (p == q) {
+            self_rule_[static_cast<std::size_t>(p)] = 1;
+        } else {
+            ++degree[static_cast<std::size_t>(p)];
+            ++degree[static_cast<std::size_t>(q)];
+        }
+    }
+    partner_offsets_.assign(n + 1, 0);
+    for (std::size_t q = 0; q < n; ++q)
+        partner_offsets_[q + 1] = partner_offsets_[q] + degree[q];
+    partners_.resize(partner_offsets_[n]);
+    std::vector<std::uint32_t> cursor(partner_offsets_.begin(), partner_offsets_.end() - 1);
+    for (const auto& [p, q] : nonsilent_pairs_) {
+        if (p == q) continue;
+        partners_[cursor[static_cast<std::size_t>(p)]++] = q;
+        partners_[cursor[static_cast<std::size_t>(q)]++] = p;
+    }
+}
+
 bool Simulator::is_silent(const Config& config) const {
     const std::vector<StateId> support = config.support();
     for (std::size_t i = 0; i < support.size(); ++i) {
@@ -66,38 +116,190 @@ bool Simulator::is_provably_stable(const Config& config) const {
     return is_silent(config);
 }
 
-std::optional<TransitionId> Simulator::step(Config& config, Rng& rng) const {
-    const AgentCount population = config.size();
-    PPSC_CHECK_MSG(population >= 2, "simulation needs at least two agents");
-
-    // Sample an ordered pair of distinct agent ranks, then map ranks to
-    // states by scanning the (small) count vector.
-    const auto r1 = static_cast<AgentCount>(rng.below(static_cast<std::uint64_t>(population)));
-    auto r2 = static_cast<AgentCount>(rng.below(static_cast<std::uint64_t>(population - 1)));
-    if (r2 >= r1) ++r2;
-
-    StateId s1 = -1, s2 = -1;
-    AgentCount cumulative = 0;
-    const auto& counts = config.counts();
-    for (std::size_t q = 0; q < counts.size() && (s1 < 0 || s2 < 0); ++q) {
-        cumulative += counts[q];
-        if (s1 < 0 && r1 < cumulative) s1 = static_cast<StateId>(q);
-        if (s2 < 0 && r2 < cumulative) s2 = static_cast<StateId>(q);
+void Simulator::init_context(StepContext& ctx, const Config& config) const {
+    PPSC_CHECK_MSG(config.num_states() == protocol_.num_states(),
+                   "configuration does not match the simulator's protocol");
+    ctx.agents.assign(config.counts());
+    const AgentCount n = config.size();
+    // n(n−1) must fit in int64 for ordered-pair weights.
+    ctx.track_pairs = n <= (AgentCount{1} << 31);
+    ctx.active_weight = 0;
+    ctx.partner_weight.assign(protocol_.num_states(), 0);
+    if (ctx.track_pairs) {
+        const auto& counts = config.counts();
+        for (std::size_t q = 0; q < counts.size(); ++q) {
+            AgentCount w = 0;
+            for (std::uint32_t i = partner_offsets_[q]; i < partner_offsets_[q + 1]; ++i)
+                w += counts[static_cast<std::size_t>(partners_[i])];
+            ctx.partner_weight[q] = w;
+            // Σ_q c_q · partner_weight[q] counts every unordered pair twice,
+            // i.e. exactly the 2·c_p·c_q ordered-pair weight.
+            ctx.active_weight += counts[q] * w;
+            if (self_rule_[q]) ctx.active_weight += counts[q] * (counts[q] - 1);
+        }
     }
-    PPSC_CHECK(s1 >= 0 && s2 >= 0);
+    ctx.owner = nullptr;
+    ctx.version = 0;
+}
 
+Simulator::StepContext& Simulator::cached_context(const Config& config) const {
+    if (cache_.owner != &config || cache_.version != config.version()) {
+        init_context(cache_, config);
+        cache_.owner = &config;
+        cache_.version = config.version();
+    }
+    return cache_;
+}
+
+void Simulator::apply_count_delta(StepContext& ctx, Config& config, StateId q,
+                                  AgentCount delta) const {
+    const AgentCount before = config[q];
+    config.add(q, delta);
+    ctx.agents.add(static_cast<std::size_t>(q), delta);
+    if (!ctx.track_pairs) return;
+    // Δ of c(c−1) for the self pair, 2·Δc·Σ partner counts for the rest.
+    if (self_rule_[static_cast<std::size_t>(q)])
+        ctx.active_weight += delta * (2 * before + delta - 1);
+    ctx.active_weight += 2 * delta * ctx.partner_weight[static_cast<std::size_t>(q)];
+    const std::uint32_t begin = partner_offsets_[static_cast<std::size_t>(q)];
+    const std::uint32_t end = partner_offsets_[static_cast<std::size_t>(q) + 1];
+    for (std::uint32_t i = begin; i < end; ++i)
+        ctx.partner_weight[static_cast<std::size_t>(partners_[i])] += delta;
+}
+
+void Simulator::fire_in_context(StepContext& ctx, Config& config, const Transition& t) const {
+    apply_count_delta(ctx, config, t.pre1, -1);
+    apply_count_delta(ctx, config, t.pre2, -1);
+    apply_count_delta(ctx, config, t.post1, 1);
+    apply_count_delta(ctx, config, t.post2, 1);
+}
+
+std::pair<StateId, StateId> Simulator::sample_pair_in_context(const StepContext& ctx,
+                                                              Rng& rng) const {
+    // Sample an ordered pair of distinct agent ranks, then map ranks to
+    // states through the Fenwick tree (O(log |Q|) instead of a prefix scan).
+    const std::int64_t n = ctx.agents.total();
+    PPSC_DASSERT(n >= 2);
+    const auto r1 = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n)));
+    auto r2 = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    if (r2 >= r1) ++r2;
+    return {static_cast<StateId>(ctx.agents.sample(r1)),
+            static_cast<StateId>(ctx.agents.sample(r2))};
+}
+
+std::optional<TransitionId> Simulator::step_in_context(StepContext& ctx, Config& config,
+                                                       Rng& rng) const {
+    const auto [s1, s2] = sample_pair_in_context(ctx, rng);
     const auto rules = protocol_.rules_for_pair(s1, s2);
     if (rules.empty()) return std::nullopt;  // silent encounter
 
-    // The scheduler resolves transition nondeterminism uniformly.
-    const TransitionId chosen =
-        rules.size() == 1 ? rules[0] : rules[rng.below(rules.size())];
-    const Transition& t = protocol_.transitions()[static_cast<std::size_t>(chosen)];
-    config.add(t.pre1, -1);
-    config.add(t.pre2, -1);
-    config.add(t.post1, 1);
-    config.add(t.post2, 1);
+    const TransitionId chosen = choose_rule(rules, rng);
+    fire_in_context(ctx, config, protocol_.transitions()[static_cast<std::size_t>(chosen)]);
     return chosen;
+}
+
+std::optional<TransitionId> Simulator::advance(StepContext& ctx, Config& config, Rng& rng,
+                                               std::uint64_t budget,
+                                               std::uint64_t* consumed) const {
+    PPSC_DASSERT(ctx.track_pairs);
+    *consumed = 0;
+    if (budget == 0) return std::nullopt;
+    const std::int64_t weight = ctx.active_weight;
+    if (weight == 0) return std::nullopt;  // silent: nothing fires, ever
+
+    const AgentCount n = config.size();
+    const std::int64_t pairs = n * (n - 1);
+    std::uint64_t silent_steps = 0;
+    if (weight > pairs / 8) {
+        // Dense regime: most encounters fire, per-encounter sampling is
+        // cheaper than drawing the geometric skip.
+        while (true) {
+            if (silent_steps == budget) {
+                *consumed = budget;
+                return std::nullopt;
+            }
+            const auto [s1, s2] = sample_pair_in_context(ctx, rng);
+            const auto rules = protocol_.rules_for_pair(s1, s2);
+            if (!rules.empty()) {
+                const TransitionId chosen = choose_rule(rules, rng);
+                fire_in_context(ctx, config,
+                                protocol_.transitions()[static_cast<std::size_t>(chosen)]);
+                *consumed = silent_steps + 1;
+                return chosen;
+            }
+            ++silent_steps;
+        }
+    }
+
+    // Sparse regime: the number of consecutive silent encounters is
+    // geometric with success probability p = weight/pairs — sample it in
+    // one shot instead of executing the silent encounters one by one.
+    const double p = static_cast<double>(weight) / static_cast<double>(pairs);
+    const double u = 1.0 - rng.uniform();  // (0, 1]
+    const double skip = std::floor(std::log(u) / std::log1p(-p));
+    if (skip >= static_cast<double>(budget)) {
+        *consumed = budget;
+        return std::nullopt;
+    }
+    silent_steps = static_cast<std::uint64_t>(skip);
+
+    // The interacting state pair, conditioned on the encounter being
+    // non-silent, is weight-proportional over the non-silent pairs.
+    std::int64_t r = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(weight)));
+    for (const auto& [a, b] : nonsilent_pairs_) {
+        const std::int64_t w = a == b ? config[a] * (config[a] - 1) : 2 * config[a] * config[b];
+        if (r < w) {
+            const auto rules = protocol_.rules_for_pair(a, b);
+            PPSC_DASSERT(!rules.empty());
+            const TransitionId chosen = choose_rule(rules, rng);
+            fire_in_context(ctx, config,
+                            protocol_.transitions()[static_cast<std::size_t>(chosen)]);
+            *consumed = silent_steps + 1;
+            return chosen;
+        }
+        r -= w;
+    }
+    PPSC_CHECK_MSG(false, "active pair weight out of sync with counts");
+    return std::nullopt;  // unreachable
+}
+
+std::optional<TransitionId> Simulator::step(Config& config, Rng& rng) const {
+    PPSC_CHECK_MSG(config.size() >= 2, "simulation needs at least two agents");
+    StepContext& ctx = cached_context(config);
+    const auto fired = step_in_context(ctx, config, rng);
+    ctx.version = config.version();
+    return fired;
+}
+
+std::pair<StateId, StateId> Simulator::sample_pair(const Config& config, Rng& rng) const {
+    PPSC_CHECK_MSG(config.size() >= 2, "sampling needs at least two agents");
+    return sample_pair_in_context(cached_context(config), rng);
+}
+
+std::uint64_t Simulator::run_batch(Config& config, Rng& rng,
+                                   std::uint64_t max_interactions) const {
+    if (config.size() < 2)
+        throw std::invalid_argument(
+            "Simulator::run_batch: configurations need at least two agents");
+    StepContext& ctx = cached_context(config);
+    std::uint64_t done = 0;
+    if (ctx.track_pairs) {
+        while (done < max_interactions) {
+            std::uint64_t consumed = 0;
+            const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
+            done += consumed;
+            if (!fired && consumed == 0) break;  // silent: no interaction can fire again
+        }
+    } else {
+        const auto interval = static_cast<std::uint64_t>(config.size());
+        while (done < max_interactions) {
+            step_in_context(ctx, config, rng);
+            ++done;
+            if (done % interval == 0 && is_silent(config)) break;
+        }
+    }
+    ctx.version = config.version();
+    return done;
 }
 
 SimulationResult Simulator::run(Config config, Rng& rng,
@@ -105,6 +307,10 @@ SimulationResult Simulator::run(Config config, Rng& rng,
     const AgentCount population = config.size();
     if (population < 2)
         throw std::invalid_argument("Simulator::run: configurations need at least two agents");
+
+    // Per-run context on the stack: run() stays thread-safe.
+    StepContext ctx;
+    init_context(ctx, config);
 
     // Track, incrementally, how many agents sit outside each output trap;
     // when a counter hits zero the configuration is provably stable.
@@ -115,33 +321,51 @@ SimulationResult Simulator::run(Config config, Rng& rng,
         }
     }
 
-    const std::uint64_t silent_interval =
-        options.silent_check_interval != 0
-            ? options.silent_check_interval
-            : static_cast<std::uint64_t>(population);
-
     std::uint64_t interactions = 0;
-    bool converged = (outside[0] == 0 || outside[1] == 0) || is_silent(config);
-    while (!converged && interactions < options.max_interactions) {
-        const std::optional<TransitionId> fired = step(config, rng);
-        ++interactions;
-        if (fired) {
-            const Transition& t = protocol_.transitions()[static_cast<std::size_t>(*fired)];
-            for (int b = 0; b < 2; ++b) {
-                const auto& trap = traps_[b];
-                outside[b] += static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post1)]) +
-                              static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post2)]) -
-                              static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre1)]) -
-                              static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre2)]);
+    bool converged = outside[0] == 0 || outside[1] == 0 ||
+                     (ctx.track_pairs ? ctx.active_weight == 0 : is_silent(config));
+
+    // Moves the fired transition's agents between the outside-the-trap
+    // counters; returns true when one trap captured the whole population.
+    const auto trap_counters_hit_zero = [&](TransitionId fired) {
+        const Transition& t = protocol_.transitions()[static_cast<std::size_t>(fired)];
+        for (int b = 0; b < 2; ++b) {
+            const auto& trap = traps_[b];
+            outside[b] += static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post1)]) +
+                          static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post2)]) -
+                          static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre1)]) -
+                          static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre2)]);
+        }
+        return outside[0] == 0 || outside[1] == 0;
+    };
+
+    if (ctx.track_pairs) {
+        while (!converged && interactions < options.max_interactions) {
+            std::uint64_t consumed = 0;
+            const auto fired =
+                advance(ctx, config, rng, options.max_interactions - interactions, &consumed);
+            interactions += consumed;
+            if (!fired) {
+                if (consumed == 0) converged = true;  // silent
+                continue;  // else: budget exhausted, loop condition exits
             }
-            if (outside[0] == 0 || outside[1] == 0) {
+            if (trap_counters_hit_zero(*fired) || ctx.active_weight == 0) converged = true;
+        }
+    } else {
+        // Populations beyond pair-weight range: per-encounter stepping with
+        // the legacy periodic silence rescan.
+        const std::uint64_t silent_interval =
+            options.silent_check_interval != 0
+                ? options.silent_check_interval
+                : static_cast<std::uint64_t>(population);
+        while (!converged && interactions < options.max_interactions) {
+            const std::optional<TransitionId> fired = step_in_context(ctx, config, rng);
+            ++interactions;
+            if (fired && trap_counters_hit_zero(*fired)) {
                 converged = true;
                 break;
             }
-        }
-        if (interactions % silent_interval == 0 && is_silent(config)) {
-            converged = true;
-            break;
+            if (interactions % silent_interval == 0 && is_silent(config)) converged = true;
         }
     }
 

@@ -4,6 +4,23 @@
 // pair of distinct agents is chosen uniformly at random and interacts.
 // Parallel time = interactions / number of agents.
 //
+// Engine.  The hot path is built around three ideas:
+//
+//   1. Fenwick sampling: agent ranks map to states through a Fenwick tree
+//      over the count vector (O(log |Q|) per sample, O(log |Q|) to keep in
+//      sync when a transition fires) instead of an O(|Q|) prefix scan.
+//   2. Incremental silence detection: the engine maintains W = the number
+//      of *ordered agent pairs* whose state pair enables a non-silent
+//      transition.  W = 0 ⟺ the configuration is silent, so silence is
+//      detected exactly and in O(1) instead of by an O(|support|²) rescan
+//      every `population` steps.
+//   3. Rejection-free batching: when W is small relative to the n(n−1)
+//      ordered pairs, the number of consecutive silent encounters is
+//      geometrically distributed — run()/run_batch() sample it in one shot
+//      and advance the interaction counter without executing the silent
+//      encounters one by one.  The resulting trajectory distribution is
+//      exactly that of the naive per-encounter chain.
+//
 // Convergence detection.  True stabilisation ("no reachable configuration
 // changes the output") is undecidable to detect locally, so the simulator
 // uses two *sound* sufficient conditions:
@@ -19,14 +36,21 @@
 // Both checks are sound: `converged == true` really means the execution has
 // stabilised.  They are not complete; runs that stabilise in a form the
 // checks cannot see terminate at `max_interactions` with converged == false.
+//
+// Thread safety: run()/run_input() are const and keep all mutable state on
+// the stack, so one Simulator may serve concurrent runs (this is what the
+// parallel convergence sweeps do).  step()/run_batch()/sample_pair() share
+// a per-simulator sampler cache and must not be called concurrently.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
+#include "support/fenwick.hpp"
 #include "support/rng.hpp"
 
 namespace ppsc {
@@ -35,8 +59,10 @@ struct SimulationOptions {
     /// Hard cap on interactions before giving up.
     std::uint64_t max_interactions = 50'000'000;
 
-    /// How often (in interactions) to run the O(|support|²) silent-config
-    /// check; 0 means "population size".
+    /// Legacy knob.  Silence is now detected incrementally and exactly, so
+    /// this only governs the periodic O(|support|²) fallback check used for
+    /// populations too large for pair-weight tracking (> 2³¹ agents);
+    /// 0 means "population size".
     std::uint64_t silent_check_interval = 0;
 };
 
@@ -48,40 +74,105 @@ struct SimulationResult {
     double parallel_time = 0.0;       ///< interactions / population
 };
 
-/// Reusable simulator for one protocol (precomputes output traps).
+/// Reusable simulator for one protocol (precomputes output traps and the
+/// non-silent pair structure).
 class Simulator {
 public:
     explicit Simulator(const Protocol& protocol);
 
     /// Runs from `config` until a sound stability condition holds or the
-    /// interaction budget is exhausted.
+    /// interaction budget is exhausted.  Thread-safe.
     SimulationResult run(Config config, Rng& rng, const SimulationOptions& options = {}) const;
 
-    /// Runs from IC(input) (single-input protocols).
+    /// Runs from IC(input) (single-input protocols).  Thread-safe.
     SimulationResult run_input(AgentCount input, Rng& rng,
                                const SimulationOptions& options = {}) const;
 
     /// Executes exactly one interaction step on `config`; returns the
-    /// transition fired (nullopt for a silent encounter).
+    /// transition fired (nullopt for a silent encounter).  Not thread-safe
+    /// (uses the sampler cache).
     std::optional<TransitionId> step(Config& config, Rng& rng) const;
+
+    /// Executes up to `max_interactions` interactions on `config` (silent
+    /// encounters are counted and, when profitable, skipped in bulk without
+    /// changing the trajectory distribution).  Returns the number executed;
+    /// the return value is < max_interactions only when the configuration
+    /// became silent (no transition can ever fire again).  Not thread-safe.
+    std::uint64_t run_batch(Config& config, Rng& rng, std::uint64_t max_interactions) const;
+
+    /// Samples the states of a uniform ordered pair of distinct agents
+    /// without mutating `config` — the scheduler's encounter distribution.
+    /// Exposed for statistical tests.  Not thread-safe.
+    std::pair<StateId, StateId> sample_pair(const Config& config, Rng& rng) const;
 
     /// The output trap W_b used for convergence detection (exposed for
     /// tests and for the stable-set experiments).
     const std::vector<bool>& output_trap(int b) const { return traps_[b]; }
 
     /// True iff the configuration is silent: every enabled pair of states
-    /// has only the implicit silent transition.
+    /// has only the implicit silent transition.  O(|support|²) rescan.
     bool is_silent(const Config& config) const;
 
     /// True iff one of the two sound stability conditions holds.
     bool is_provably_stable(const Config& config) const;
 
 private:
+    /// Incremental per-configuration sampler state.  Everything here is a
+    /// function of (protocol, current counts); run() keeps one on the
+    /// stack, step()/run_batch() share the cached one keyed on
+    /// (config address, config version).
+    struct StepContext {
+        FenwickTree agents;  ///< Fenwick tree over the count vector
+        /// partner_weight[q] = Σ counts[p] over non-self non-silent
+        /// partners p of q; maintains active_weight in O(deg) per update.
+        std::vector<AgentCount> partner_weight;
+        /// Number of ordered agent pairs enabling a non-silent transition;
+        /// 0 ⟺ silent.  Valid only when track_pairs.
+        std::int64_t active_weight = 0;
+        /// Pair-weight tracking needs n(n−1) < 2⁶³; populations beyond
+        /// 2³¹ agents fall back to per-encounter stepping + periodic
+        /// silence rescans.
+        bool track_pairs = false;
+        const Config* owner = nullptr;
+        std::uint64_t version = 0;
+    };
+
     void compute_output_traps();
+    void build_pair_structure();
+
+    void init_context(StepContext& ctx, const Config& config) const;
+    StepContext& cached_context(const Config& config) const;
+
+    /// Adds `delta` agents to state q, keeping the Fenwick tree, the
+    /// partner weights, and active_weight in sync.
+    void apply_count_delta(StepContext& ctx, Config& config, StateId q, AgentCount delta) const;
+    void fire_in_context(StepContext& ctx, Config& config, const Transition& t) const;
+
+    std::pair<StateId, StateId> sample_pair_in_context(const StepContext& ctx, Rng& rng) const;
+    std::optional<TransitionId> step_in_context(StepContext& ctx, Config& config, Rng& rng) const;
+
+    /// Advances the interaction chain by up to `budget` interactions:
+    /// consumes the (geometrically distributed) run of silent encounters,
+    /// then fires one non-silent transition.  Sets *consumed to the number
+    /// of interactions executed (silent run + the firing one).  Returns
+    /// nullopt with *consumed == 0 iff the configuration is silent, and
+    /// nullopt with *consumed == budget when the budget ran out first.
+    /// Requires ctx.track_pairs.
+    std::optional<TransitionId> advance(StepContext& ctx, Config& config, Rng& rng,
+                                        std::uint64_t budget, std::uint64_t* consumed) const;
 
     // Owned copy: simulators are long-lived; never dangle on a temporary.
     Protocol protocol_;
     std::vector<bool> traps_[2];  // traps_[b][q]: q belongs to the b-trap
+
+    // Non-silent pair structure (CSR adjacency of the "has a rule with"
+    // relation, self-pairs split out), precomputed from the protocol.
+    std::vector<std::pair<StateId, StateId>> nonsilent_pairs_;  // p ≤ q, deduped
+    std::vector<std::uint32_t> partner_offsets_;  // CSR offsets, size |Q|+1
+    std::vector<StateId> partners_;               // non-self partners, flat
+    std::vector<std::uint8_t> self_rule_;         // {q,q} has a rule
+
+    mutable StepContext cache_;
 };
 
 }  // namespace ppsc

@@ -35,3 +35,12 @@ namespace ppsc {
             ::ppsc::check_failed(#expr, __FILE__, __LINE__, ppsc_check_os.str()); \
         }                                                             \
     } while (false)
+
+// Debug-only invariant check for hot paths: full PPSC_CHECK in debug builds,
+// free in release builds (NDEBUG).  Use where a bounds or range check would
+// cost measurable throughput per simulation step.
+#ifdef NDEBUG
+#define PPSC_DASSERT(expr) ((void)0)
+#else
+#define PPSC_DASSERT(expr) PPSC_CHECK(expr)
+#endif

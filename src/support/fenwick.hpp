@@ -1,0 +1,74 @@
+// Fenwick (binary indexed) tree over signed 64-bit weights.
+//
+// The simulation hot path needs three operations on the agent-count vector
+// of a configuration: point update (a transition moves agents between
+// states), total weight (the population size), and inverse-CDF sampling
+// ("which state holds the agent with rank r?").  A Fenwick tree does all
+// three in O(log n) — replacing the O(n) prefix scan the simulator used to
+// run on every interaction — and its flat array layout keeps the whole
+// structure in one or two cache lines for the protocol sizes this library
+// works with.
+//
+// Weights must stay non-negative for sample() to be meaningful; add() does
+// not enforce this (the simulator's count arithmetic already does).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace ppsc {
+
+class FenwickTree {
+public:
+    FenwickTree() = default;
+    explicit FenwickTree(std::span<const std::int64_t> weights) { assign(weights); }
+
+    /// Rebuilds the tree over `weights` in O(n).
+    void assign(std::span<const std::int64_t> weights);
+
+    std::size_t size() const noexcept { return size_; }
+
+    /// Sum of all weights, maintained incrementally — O(1).
+    std::int64_t total() const noexcept { return total_; }
+
+    /// weights[i] += delta — O(log n).
+    void add(std::size_t i, std::int64_t delta) {
+        PPSC_DASSERT(i < size_);
+        total_ += delta;
+        for (std::size_t j = i + 1; j <= size_; j += j & (~j + 1)) tree_[j] += delta;
+    }
+
+    /// Sum of weights[0..i) — O(log n).
+    std::int64_t prefix_sum(std::size_t i) const;
+
+    /// weights[i] — O(log n).
+    std::int64_t value(std::size_t i) const;
+
+    /// The smallest index i with prefix_sum(i+1) > r, i.e. the state holding
+    /// the agent of rank `r` when weights are agent counts.  Requires
+    /// 0 ≤ r < total().  O(log n).
+    std::size_t sample(std::int64_t r) const {
+        PPSC_DASSERT(r >= 0 && r < total_);
+        std::size_t idx = 0;
+        for (std::size_t mask = top_mask_; mask != 0; mask >>= 1) {
+            const std::size_t next = idx + mask;
+            if (next <= size_ && tree_[next] <= r) {
+                idx = next;
+                r -= tree_[next];
+            }
+        }
+        return idx;
+    }
+
+private:
+    std::vector<std::int64_t> tree_;  // 1-based implicit binary indexed tree
+    std::size_t size_ = 0;
+    std::size_t top_mask_ = 0;  // largest power of two ≤ size_
+    std::int64_t total_ = 0;
+};
+
+}  // namespace ppsc

@@ -43,10 +43,47 @@ TEST(Config, SetAndAdd) {
     EXPECT_THROW(c.set(0, -1), std::invalid_argument);
 }
 
-TEST(Config, OutOfRangeAccessThrows) {
+TEST(Config, OutOfRangeMutationThrows) {
+    // operator[] is an unchecked hot-path accessor (debug-asserted only);
+    // the mutating API keeps its bounds checks.
     Config c(2);
-    EXPECT_THROW(c[5], std::out_of_range);
     EXPECT_THROW(c.set(2, 1), std::out_of_range);
+    EXPECT_THROW(c.add(5, 1), std::out_of_range);
+}
+
+TEST(Config, SizeIsMaintainedIncrementally) {
+    Config c(3);
+    EXPECT_EQ(c.size(), 0);
+    c.set(0, 4);
+    c.add(1, 2);
+    EXPECT_EQ(c.size(), 6);
+    c.add(0, -3);
+    EXPECT_EQ(c.size(), 3);
+    c.set(0, 0);
+    EXPECT_EQ(c.size(), 2);
+    Config d = c;
+    d += c;
+    EXPECT_EQ(d.size(), 4);
+    d -= c;
+    EXPECT_EQ(d.size(), 2);
+    d *= 5;
+    EXPECT_EQ(d.size(), 10);
+}
+
+TEST(Config, VersionChangesOnEveryMutation) {
+    Config c(2);
+    const std::uint64_t v0 = c.version();
+    c.set(0, 1);
+    const std::uint64_t v1 = c.version();
+    EXPECT_NE(v0, v1);
+    c.add(1, 3);
+    const std::uint64_t v2 = c.version();
+    EXPECT_NE(v1, v2);
+    // Copies are distinct objects: they never share a version with their
+    // source (samplers key caches on (address, version)).
+    const Config d = c;
+    EXPECT_NE(d.version(), c.version());
+    EXPECT_TRUE(d == c);
 }
 
 TEST(Config, AdditionAndSubtraction) {

@@ -4,6 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "protocols/majority.hpp"
+#include "protocols/modulo.hpp"
+#include "protocols/threshold.hpp"
+
 namespace ppsc {
 namespace {
 
@@ -181,6 +190,42 @@ TEST(Protocol, TextAndDotRenderings) {
 TEST(Protocol, FindStateMissingReturnsNullopt) {
     const Protocol p = build_example21_p1();
     EXPECT_EQ(p.find_state("missing"), std::nullopt);
+}
+
+TEST(Protocol, CsrRuleTableMatchesNaiveMapExhaustively) {
+    // The CSR pair→rules table (offsets + flat id array + silent bitset)
+    // must agree, for every unordered pair, with a naive map rebuilt from
+    // transitions().
+    const Protocol candidates[] = {build_example21_p1(),
+                                   protocols::unary_threshold(7),
+                                   protocols::collector_threshold(37),
+                                   protocols::modulo(5, 2),
+                                   protocols::majority()};
+    for (const Protocol& p : candidates) {
+        std::map<std::pair<StateId, StateId>, std::vector<TransitionId>> naive;
+        const auto transitions = p.transitions();
+        for (std::size_t i = 0; i < transitions.size(); ++i)
+            naive[{transitions[i].pre1, transitions[i].pre2}].push_back(
+                static_cast<TransitionId>(i));
+
+        const auto n = static_cast<StateId>(p.num_states());
+        for (StateId a = 0; a < n; ++a) {
+            for (StateId b = 0; b < n; ++b) {
+                const auto key = std::make_pair(std::min(a, b), std::max(a, b));
+                const auto it = naive.find(key);
+                const auto rules = p.rules_for_pair(a, b);
+                if (it == naive.end()) {
+                    EXPECT_TRUE(rules.empty());
+                    EXPECT_TRUE(p.pair_is_silent(a, b));
+                } else {
+                    EXPECT_EQ(std::vector<TransitionId>(rules.begin(), rules.end()),
+                              it->second)
+                        << "pair (" << a << ", " << b << ")";
+                    EXPECT_FALSE(p.pair_is_silent(a, b));
+                }
+            }
+        }
+    }
 }
 
 }  // namespace

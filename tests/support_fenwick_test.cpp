@@ -1,0 +1,174 @@
+// Tests for the Fenwick tree and for the Fenwick-backed agent sampling of
+// the simulator: exact equivalence with the linear-scan rank mapping the
+// simulator used before, plus a chi-squared goodness-of-fit test of the
+// sampled pair distribution.
+#include "support/fenwick.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "protocols/threshold.hpp"
+#include "sim/simulator.hpp"
+#include "support/rng.hpp"
+
+namespace ppsc {
+namespace {
+
+TEST(FenwickTree, PrefixSumsMatchNaive) {
+    const std::vector<std::int64_t> weights = {3, 0, 5, 1, 0, 0, 7, 2, 4};
+    const FenwickTree tree{std::span<const std::int64_t>(weights)};
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i <= weights.size(); ++i) {
+        EXPECT_EQ(tree.prefix_sum(i), sum);
+        if (i < weights.size()) {
+            EXPECT_EQ(tree.value(i), weights[i]);
+            sum += weights[i];
+        }
+    }
+    EXPECT_EQ(tree.total(), sum);
+}
+
+TEST(FenwickTree, SampleInvertsTheCdfExhaustively) {
+    const std::vector<std::int64_t> weights = {2, 0, 3, 1, 0, 4};
+    const FenwickTree tree{std::span<const std::int64_t>(weights)};
+    // Rank r belongs to the smallest i with prefix_sum(i+1) > r.
+    for (std::int64_t r = 0; r < tree.total(); ++r) {
+        std::size_t expected = 0;
+        std::int64_t cumulative = 0;
+        for (std::size_t q = 0; q < weights.size(); ++q) {
+            cumulative += weights[q];
+            if (r < cumulative) {
+                expected = q;
+                break;
+            }
+        }
+        EXPECT_EQ(tree.sample(r), expected) << "rank " << r;
+    }
+}
+
+TEST(FenwickTree, AddKeepsTreeConsistent) {
+    std::vector<std::int64_t> naive(17, 0);
+    FenwickTree tree{std::span<const std::int64_t>(naive)};
+    Rng rng(7);
+    for (int iter = 0; iter < 1000; ++iter) {
+        const std::size_t i = rng.below(naive.size());
+        const std::int64_t delta = static_cast<std::int64_t>(rng.below(9)) - naive[i] % 5;
+        if (naive[i] + delta < 0) continue;
+        naive[i] += delta;
+        tree.add(i, delta);
+    }
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < naive.size(); ++i) {
+        EXPECT_EQ(tree.prefix_sum(i), sum);
+        sum += naive[i];
+    }
+    EXPECT_EQ(tree.total(), sum);
+}
+
+TEST(FenwickTree, SingleElementAndEmpty) {
+    const std::vector<std::int64_t> one = {5};
+    const FenwickTree tree{std::span<const std::int64_t>(one)};
+    EXPECT_EQ(tree.total(), 5);
+    for (std::int64_t r = 0; r < 5; ++r) EXPECT_EQ(tree.sample(r), 0u);
+
+    const FenwickTree empty;
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_EQ(empty.total(), 0);
+}
+
+// The linear-scan rank→state mapping the simulator used before the Fenwick
+// sampler.  Used as the reference in the equivalence tests below.
+StateId scan_rank(const std::vector<AgentCount>& counts, AgentCount rank) {
+    AgentCount cumulative = 0;
+    for (std::size_t q = 0; q < counts.size(); ++q) {
+        cumulative += counts[q];
+        if (rank < cumulative) return static_cast<StateId>(q);
+    }
+    ADD_FAILURE() << "rank " << rank << " beyond population";
+    return -1;
+}
+
+TEST(FenwickSampling, RankMappingMatchesLinearScanExhaustively) {
+    const std::vector<AgentCount> counts = {4, 0, 0, 9, 1, 0, 6, 2};
+    const FenwickTree tree{std::span<const std::int64_t>(counts)};
+    for (AgentCount r = 0; r < tree.total(); ++r)
+        EXPECT_EQ(static_cast<StateId>(tree.sample(r)), scan_rank(counts, r)) << "rank " << r;
+}
+
+TEST(FenwickSampling, SamplePairMatchesLinearScanGivenSameRanks) {
+    // Simulator::sample_pair consumes two rng.below draws exactly like the
+    // old scan-based sampler; with the same Rng state both must produce the
+    // same ordered state pair.
+    const Protocol protocol = protocols::collector_threshold(37);
+    const Simulator simulator(protocol);
+    Config config = protocol.initial_config(50);
+    // Scramble the configuration so many states are occupied.
+    Rng scramble(3);
+    for (int i = 0; i < 300; ++i) simulator.step(config, scramble);
+
+    Rng rng_fenwick(12345), rng_reference(12345);
+    const AgentCount n = config.size();
+    for (int i = 0; i < 2000; ++i) {
+        const auto [s1, s2] = simulator.sample_pair(config, rng_fenwick);
+        const auto r1 = static_cast<AgentCount>(
+            rng_reference.below(static_cast<std::uint64_t>(n)));
+        auto r2 = static_cast<AgentCount>(
+            rng_reference.below(static_cast<std::uint64_t>(n - 1)));
+        if (r2 >= r1) ++r2;
+        EXPECT_EQ(s1, scan_rank(config.counts(), r1));
+        EXPECT_EQ(s2, scan_rank(config.counts(), r2));
+    }
+}
+
+TEST(FenwickSampling, PairDistributionPassesChiSquared) {
+    // Chi-squared goodness-of-fit of Simulator::sample_pair against the
+    // exact encounter distribution P(s1=a, s2=b) = c_a (c_b − [a=b]) / n(n−1).
+    const std::size_t num_states = 5;
+    const Config config = Config::from_counts({6, 0, 3, 9, 2});
+    const double n = static_cast<double>(config.size());
+
+    ProtocolBuilder b;
+    for (std::size_t q = 0; q < num_states; ++q)
+        b.add_state("s" + std::to_string(q), 0);
+    b.set_input("x", 0);
+    b.add_transition(0, 1, 2, 3);  // protocols need one rule; sampling ignores it
+    const Protocol protocol = std::move(b).build();
+    const Simulator simulator(protocol);
+
+    const int samples = 200000;
+    std::map<std::pair<StateId, StateId>, int> observed;
+    Rng rng(271828);
+    for (int i = 0; i < samples; ++i) ++observed[simulator.sample_pair(config, rng)];
+
+    double chi2 = 0.0;
+    int cells = 0;
+    for (StateId a = 0; a < static_cast<StateId>(num_states); ++a) {
+        for (StateId bb = 0; bb < static_cast<StateId>(num_states); ++bb) {
+            const double ca = static_cast<double>(config[a]);
+            const double cb = static_cast<double>(config[bb]) - (a == bb ? 1.0 : 0.0);
+            const double p = ca * cb / (n * (n - 1.0));
+            const int seen = observed[{a, bb}];
+            if (p <= 0.0) {
+                EXPECT_EQ(seen, 0);
+                continue;
+            }
+            const double expected = p * samples;
+            const double diff = seen - expected;
+            chi2 += diff * diff / expected;
+            ++cells;
+        }
+    }
+    // 4 occupied states → 16 occupied-pair cells → 15 degrees of freedom;
+    // the 99.9th percentile of χ²(15) is ≈ 37.7.  A correct sampler fails
+    // this once in a thousand seeds; the seed above is fixed, so the test
+    // is deterministic.
+    EXPECT_EQ(cells, 16);
+    EXPECT_LT(chi2, 37.7) << "sampled pair distribution deviates from uniform encounters";
+}
+
+}  // namespace
+}  // namespace ppsc
