@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Runs the google-benchmark microbenchmarks and records the results as
 # BENCH_simulation.json at the repository root — the repo's perf
-# trajectory.  Re-run after any change to the simulation hot path and
-# commit the refreshed JSON alongside the change.
+# trajectory.  The JSON includes the E11 rows (BM_E11MergePhase and the
+# BM_E11FiredStep{Fenwick,Scan} pair-selection comparison on the
+# double-exponential threshold workload).  Re-run after any change to the
+# simulation hot path and commit the refreshed JSON alongside the change.
 #
 # Usage:  bench/run_benchmarks.sh [output.json]
 # Env:    BUILD_DIR (default: build)   — CMake build directory
 #         RUN_SWEEPS=1                 — also print the (slow) E10a/E10b
-#                                        convergence tables to stdout
+#                                        convergence tables and the E11
+#                                        throughput table to stdout
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build}
 OUT=${1:-BENCH_simulation.json}
 
-cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DPPSC_BUILD_BENCH=ON
 cmake --build "$BUILD_DIR" -j --target bench_simulation
 
 SWEEP_FLAG=--skip-sweeps

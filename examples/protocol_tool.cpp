@@ -4,6 +4,7 @@
 //   $ ./protocol_tool verify    <file.pp> <eta> [max_input]
 //   $ ./protocol_tool simulate  <file.pp> <population> [seed]
 //   $ ./protocol_tool dot       <file.pp>
+//   $ ./protocol_tool family    <name> [params]  (prints a built-in family)
 //   $ ./protocol_tool demo                       (prints a sample file)
 //
 // The text format is documented in src/core/protocol_parser.hpp; `demo`
@@ -12,13 +13,22 @@
 //   $ ./protocol_tool demo > t3.pp
 //   $ ./protocol_tool verify t3.pp 3
 //
-// is a complete round trip.
+// is a complete round trip.  `family` does the same for every protocol
+// family in src/protocols/, e.g.
+//
+//   $ ./protocol_tool family double_exp 2 > d2.pp
+//   $ ./protocol_tool verify d2.pp 16
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "core/protocol_parser.hpp"
+#include "protocols/double_exp_threshold.hpp"
+#include "protocols/leader.hpp"
+#include "protocols/majority.hpp"
+#include "protocols/threshold.hpp"
 #include "sim/simulator.hpp"
 #include "verify/verifier.hpp"
 
@@ -40,6 +50,44 @@ trans T v1 -> T T
 trans T v2 -> T T
 )";
 
+// Builds a named family instance: the registration point that makes every
+// family in src/protocols/ reachable from the text format (and from there
+// the whole tool surface: info/verify/simulate/dot).
+Protocol build_family(int argc, char** argv) {
+    const std::string_view name = argv[2];
+    const auto int_arg = [&](int index) -> long long {
+        if (argc <= index) {
+            std::fprintf(stderr, "family %s: missing parameter\n", argv[2]);
+            std::exit(1);
+        }
+        return std::strtoll(argv[index], nullptr, 10);
+    };
+    if (name == "unary") return protocols::unary_threshold(int_arg(3));
+    if (name == "binary") return protocols::binary_threshold_power(static_cast<int>(int_arg(3)));
+    if (name == "collector") return protocols::collector_threshold(int_arg(3));
+    if (name == "majority") return protocols::majority();
+    if (name == "leader") return protocols::leader_threshold(int_arg(3));
+    if (name == "cascade")
+        return protocols::leader_counter_cascade(static_cast<int>(int_arg(3)),
+                                                 static_cast<int>(int_arg(4)));
+    if (name == "double_exp") return protocols::double_exp_threshold(static_cast<int>(int_arg(3)));
+    if (name == "double_exp_dense")
+        return protocols::double_exp_threshold_dense(static_cast<int>(int_arg(3)));
+    if (name == "succinct") {
+        if (argc <= 3) {
+            std::fprintf(stderr, "family succinct: missing <eta> (decimal)\n");
+            std::exit(1);
+        }
+        return protocols::succinct_threshold(BigNat::from_decimal(argv[3]));
+    }
+    std::fprintf(stderr,
+                 "unknown family '%s'; known: unary <eta>, binary <k>, collector <eta>,\n"
+                 "majority, leader <eta>, cascade <base> <digits>, double_exp <n>,\n"
+                 "double_exp_dense <n>, succinct <eta>\n",
+                 argv[2]);
+    std::exit(1);
+}
+
 Protocol load(const char* path) {
     std::ifstream file(path);
     if (!file) {
@@ -60,12 +108,17 @@ int main(int argc, char** argv) {
     }
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: %s info|verify|simulate|dot <file.pp> [args]; or %s demo\n",
-                     argv[0], argv[0]);
+                     "usage: %s info|verify|simulate|dot <file.pp> [args]; "
+                     "%s family <name> [params]; or %s demo\n",
+                     argv[0], argv[0], argv[0]);
         return 1;
     }
     const std::string_view command = argv[1];
     try {
+        if (command == "family") {
+            std::fputs(format_protocol(build_family(argc, argv)).c_str(), stdout);
+            return 0;
+        }
         const Protocol protocol = load(argv[2]);
         if (command == "info") {
             std::fputs(protocol.to_text().c_str(), stdout);

@@ -165,11 +165,14 @@ void ProtocolBuilder::add_transition(StateId p, StateId q, StateId p2, StateId q
     sort_pair(p2, q2);
     const Transition t{p, q, p2, q2};
     if (t.is_silent()) return;  // silent transitions are implicit
-    const std::uint64_t packed = (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p)) << 48) |
-                                 (static_cast<std::uint64_t>(static_cast<std::uint16_t>(q)) << 32) |
-                                 (static_cast<std::uint64_t>(static_cast<std::uint16_t>(p2)) << 16) |
-                                 static_cast<std::uint64_t>(static_cast<std::uint16_t>(q2));
-    if (!seen_transitions_.insert(packed).second) return;
+    // Full 32-bit ids in the dedup key: 16-bit packing would alias distinct
+    // transitions once protocols pass 2¹⁶ states (the double-exponential
+    // threshold family gets there).
+    const auto pack = [](StateId a, StateId b) {
+        return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+               static_cast<std::uint32_t>(b);
+    };
+    if (!seen_transitions_.insert({pack(p, q), pack(p2, q2)}).second) return;
     transitions_.push_back(t);
 }
 
@@ -243,6 +246,46 @@ Protocol ProtocolBuilder::build() && {
     for (std::size_t i = 0; i < num_pairs; ++i) {
         if (p.pair_offsets_[i] == p.pair_offsets_[i + 1])
             p.pair_silent_bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    }
+
+    // Sparse non-silent pair structure: the deduped pre-pairs as a flat
+    // list (PairId = list index), the self-pair ids, and the CSR adjacency
+    // of the non-self "has a non-silent rule with" relation.  Simulators use
+    // this as the per-pair weight-delta table for incremental pair-weight
+    // maintenance.
+    p.self_pair_.assign(n, Protocol::kNoPair);
+    std::vector<std::uint32_t> degree(n, 0);
+    {
+        std::unordered_set<std::uint64_t> seen_pairs;
+        seen_pairs.reserve(p.transitions_.size());
+        for (const Transition& t : p.transitions_) {
+            const StateId q1 = t.pre1, q2 = t.pre2;  // canonical: q1 ≤ q2
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(q1)) << 32) |
+                static_cast<std::uint32_t>(q2);
+            if (!seen_pairs.insert(key).second) continue;
+            const auto id = static_cast<Protocol::PairId>(p.nonsilent_pairs_.size());
+            p.nonsilent_pairs_.emplace_back(q1, q2);
+            if (q1 == q2) {
+                p.self_pair_[static_cast<std::size_t>(q1)] = id;
+            } else {
+                ++degree[static_cast<std::size_t>(q1)];
+                ++degree[static_cast<std::size_t>(q2)];
+            }
+        }
+    }
+    p.neighbor_offsets_.assign(n + 1, 0);
+    for (std::size_t q = 0; q < n; ++q)
+        p.neighbor_offsets_[q + 1] = p.neighbor_offsets_[q] + degree[q];
+    p.neighbors_.resize(p.neighbor_offsets_[n]);
+    std::vector<std::uint32_t> neighbor_cursor(p.neighbor_offsets_.begin(),
+                                               p.neighbor_offsets_.end() - 1);
+    for (std::size_t i = 0; i < p.nonsilent_pairs_.size(); ++i) {
+        const auto [q1, q2] = p.nonsilent_pairs_[i];
+        if (q1 == q2) continue;
+        const auto id = static_cast<Protocol::PairId>(i);
+        p.neighbors_[neighbor_cursor[static_cast<std::size_t>(q1)]++] = {q2, id};
+        p.neighbors_[neighbor_cursor[static_cast<std::size_t>(q2)]++] = {q1, id};
     }
     return p;
 }

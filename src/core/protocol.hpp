@@ -29,6 +29,7 @@
 
 #include "core/config.hpp"
 #include "support/check.hpp"
+#include "support/hash.hpp"
 
 namespace ppsc {
 
@@ -89,6 +90,45 @@ public:
         return (pair_silent_bits_[idx >> 6] >> (idx & 63)) & 1u;
     }
 
+    /// Index into nonsilent_pairs().
+    using PairId = std::uint32_t;
+    static constexpr PairId kNoPair = static_cast<PairId>(-1);
+
+    /// The distinct non-silent unordered pre-pairs {p, q} (canonical p ≤ q),
+    /// in a stable order — the index of a pair in this span is its PairId.
+    /// Simulators sample fired interactions weight-proportionally over this
+    /// list.
+    std::span<const std::pair<StateId, StateId>> nonsilent_pairs() const noexcept {
+        return nonsilent_pairs_;
+    }
+
+    /// One entry of the per-state weight-delta table: changing the count of
+    /// state q by Δ changes the ordered weight of the non-silent pair
+    /// `pair` = {q, partner} by 2·Δ·count(partner).
+    struct PairNeighbor {
+        StateId partner;
+        PairId pair;
+    };
+
+    /// CSR adjacency of the non-self "has a non-silent rule with" relation:
+    /// for each partner p ≠ q of q, the PairId of {q, p}.  This is the
+    /// per-pair weight-delta table that lets a simulator keep a Fenwick tree
+    /// over ordered pair weights in sync in O(deg(q) · log #pairs) per count
+    /// change.
+    std::span<const PairNeighbor> pair_neighbors(StateId q) const {
+        const auto i = static_cast<std::size_t>(q);
+        PPSC_DASSERT(i + 1 < neighbor_offsets_.size());
+        return {neighbors_.data() + neighbor_offsets_[i],
+                static_cast<std::size_t>(neighbor_offsets_[i + 1] - neighbor_offsets_[i])};
+    }
+
+    /// PairId of the self pair {q, q}, or kNoPair if it is silent.  The
+    /// ordered weight of a self pair is count(q)·(count(q) − 1).
+    PairId self_pair(StateId q) const {
+        PPSC_DASSERT(static_cast<std::size_t>(q) < self_pair_.size());
+        return self_pair_[static_cast<std::size_t>(q)];
+    }
+
     /// Leader multiset L (all-zero for leaderless protocols).
     const Config& leaders() const noexcept { return leaders_; }
     bool is_leaderless() const noexcept;
@@ -141,6 +181,11 @@ private:
     std::vector<std::uint32_t> pair_offsets_;
     std::vector<TransitionId> pair_rule_ids_;
     std::vector<std::uint64_t> pair_silent_bits_;
+    // Sparse non-silent pair structure (see nonsilent_pairs()/pair_neighbors).
+    std::vector<std::pair<StateId, StateId>> nonsilent_pairs_;
+    std::vector<std::uint32_t> neighbor_offsets_;  // size |Q|+1
+    std::vector<PairNeighbor> neighbors_;          // flat, grouped by state
+    std::vector<PairId> self_pair_;                // size |Q|, kNoPair if silent
     std::vector<std::string> input_names_;
     std::vector<StateId> input_states_;
     Config leaders_;
@@ -188,10 +233,20 @@ public:
 private:
     StateId require_state(std::string_view name) const;
 
+    struct PackedTransitionHash {
+        std::size_t operator()(const std::pair<std::uint64_t, std::uint64_t>& key) const noexcept {
+            std::size_t seed = static_cast<std::size_t>(key.first);
+            hash_combine(seed, static_cast<std::size_t>(key.second));
+            return seed;
+        }
+    };
+
     std::vector<std::string> names_;
     std::vector<std::uint8_t> outputs_;
     std::vector<Transition> transitions_;
-    std::unordered_set<std::uint64_t> seen_transitions_;  // packed canonical form
+    /// Canonical (pre-pair, post-pair), each as two full 32-bit state ids.
+    std::unordered_set<std::pair<std::uint64_t, std::uint64_t>, PackedTransitionHash>
+        seen_transitions_;
     std::vector<std::string> input_names_;
     std::vector<StateId> input_states_;
     std::vector<std::pair<StateId, AgentCount>> leaders_;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <functional>
 #include <optional>
 #include <thread>
 
+#include "protocols/double_exp_threshold.hpp"
 #include "sim/stats.hpp"
 
 namespace ppsc {
@@ -99,6 +101,59 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
         row.correct_fraction =
             runs == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(runs);
         rows.push_back(row);
+    }
+    return rows;
+}
+
+std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options) {
+    std::vector<ThroughputRow> rows;
+    std::uint64_t row_index = 0;
+    for (const int n : options.tower_ns) {
+        struct Variant {
+            std::string label;
+            Protocol protocol;
+        };
+        std::vector<Variant> variants;
+        variants.push_back(
+            {"double_exp(" + std::to_string(n) + ")", protocols::double_exp_threshold(n)});
+        if (options.include_dense && n >= 1) {
+            variants.push_back({"double_exp_dense(" + std::to_string(n) + ")",
+                                protocols::double_exp_threshold_dense(n)});
+        }
+        for (const Variant& variant : variants) {
+            const Simulator simulator(variant.protocol, options.selection);
+            for (const AgentCount population : options.populations) {
+                Rng rng(options.seed ^ (row_index++ << 32));
+                Config config = variant.protocol.initial_config(population);
+                const auto start = std::chrono::steady_clock::now();
+                std::uint64_t done = 0;
+                while (done < options.interactions_per_row) {
+                    const std::uint64_t want = options.interactions_per_row - done;
+                    const std::uint64_t got = simulator.run_batch(config, rng, want);
+                    done += got;
+                    if (got < want) {
+                        // A config that executes nothing is silent from the
+                        // start (or degenerate) — restarting would spin.
+                        if (got == 0) break;
+                        // Sub-threshold trajectories end silent (≤ 1 token
+                        // per level); restart from IC to keep measuring.
+                        config = variant.protocol.initial_config(population);
+                    }
+                }
+                const std::chrono::duration<double> elapsed =
+                    std::chrono::steady_clock::now() - start;
+                ThroughputRow row;
+                row.protocol = variant.label;
+                row.num_states = variant.protocol.num_states();
+                row.nonsilent_pairs = variant.protocol.nonsilent_pairs().size();
+                row.population = population;
+                row.interactions = done;
+                row.seconds = elapsed.count();
+                row.interactions_per_sec =
+                    row.seconds > 0.0 ? static_cast<double>(done) / row.seconds : 0.0;
+                rows.push_back(row);
+            }
+        }
     }
     return rows;
 }

@@ -1,6 +1,7 @@
 // Repeatable simulation experiments: convergence-time sweeps over
-// population sizes, used by bench_simulation (experiment E10) and the
-// examples.
+// population sizes (experiment E10) and the large-state-space throughput
+// sweep over the double-exponential threshold family (experiment E11),
+// used by bench_simulation and the examples.
 //
 // Trials are independent and seeded per (population, repetition) pair, so
 // the sweep parallelises across worker threads without changing any
@@ -10,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "core/protocol.hpp"
@@ -42,5 +44,41 @@ struct ConvergenceSweepOptions {
 std::vector<ConvergenceRow> convergence_sweep(
     const Protocol& protocol, const std::vector<AgentCount>& populations,
     const std::function<int(AgentCount)>& expected, const ConvergenceSweepOptions& options = {});
+
+// --- Experiment E11: double-exponential threshold workload -----------------
+//
+// Sustained engine throughput on the succinct-counter family across |Q| and
+// population.  Each row drives run_batch along the exact scheduler-chain
+// distribution; when a trajectory reaches silence it restarts from IC, so
+// the row measures full-trajectory throughput (merge phase + silent-skip
+// steady state) on state spaces with |Q| ≫ 10³.
+
+struct ThroughputRow {
+    std::string protocol;             ///< family instance, e.g. "double_exp(8)"
+    std::size_t num_states = 0;
+    std::size_t nonsilent_pairs = 0;
+    AgentCount population = 0;
+    std::uint64_t interactions = 0;   ///< interactions executed for the row
+    double seconds = 0.0;             ///< wall-clock time for the row
+    double interactions_per_sec = 0.0;
+};
+
+struct E11Options {
+    /// Tower parameters n: each contributes double_exp_threshold(n)
+    /// (η = 2^(2^n), |Q| = 2^n + 3) and, when include_dense is set,
+    /// double_exp_threshold_dense(n) (η = 2^(2^n) − 1, |Q| ≈ 2^(n+1) with
+    /// Θ(4^n) non-silent pairs).
+    std::vector<int> tower_ns = {6, 8, 10};
+    std::vector<AgentCount> populations = {1 << 12, 1 << 16};
+    std::uint64_t interactions_per_row = 1 << 22;
+    std::uint64_t seed = 0xE11;
+    bool include_dense = true;
+    /// Fired-step pair selection of the simulators driven by the sweep —
+    /// sweeping both values benchmarks the pair-weight Fenwick against the
+    /// reference scan on identical trajectories.
+    PairSelect selection = PairSelect::fenwick;
+};
+
+std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options = {});
 
 }  // namespace ppsc

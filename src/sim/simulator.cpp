@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_set>
+#include <type_traits>
 
 #include "support/check.hpp"
 
@@ -17,11 +17,30 @@ TransitionId choose_rule(std::span<const TransitionId> rules, Rng& rng) {
                              : rules[static_cast<std::size_t>(rng.below(rules.size()))];
 }
 
+/// Ordered weight of one non-silent pair at the current counts.  All
+/// intermediates are bounded by n(n−1), so the caller's weight type is wide
+/// enough for the arithmetic as well.
+template <typename W>
+W pair_weight(const Config& config, StateId a, StateId b) {
+    const auto ca = static_cast<W>(config[a]);
+    return a == b ? ca * (ca - 1) : 2 * ca * static_cast<W>(config[b]);
+}
+
+/// Below this many non-silent pairs the cumulative scan beats the Fenwick
+/// tree (no flush, no mirror, near-sequential memory) — measured on the
+/// E10 collector workloads; the break-even sits well under a thousand.
+constexpr std::size_t kFenwickPairThreshold = 256;
+
 }  // namespace
 
-Simulator::Simulator(const Protocol& protocol) : protocol_(protocol) {
+Simulator::Simulator(const Protocol& protocol, PairSelect pair_select)
+    : protocol_(protocol), pair_select_(pair_select) {
+    if (pair_select_ == PairSelect::automatic) {
+        pair_select_ = protocol_.nonsilent_pairs().size() >= kFenwickPairThreshold
+                           ? PairSelect::fenwick
+                           : PairSelect::scan;
+    }
     compute_output_traps();
-    build_pair_structure();
 }
 
 void Simulator::compute_output_traps() {
@@ -55,42 +74,6 @@ void Simulator::compute_output_traps() {
     }
 }
 
-void Simulator::build_pair_structure() {
-    // The distinct non-silent pre-pairs, as both a flat list (for
-    // weight-proportional pair sampling on fired steps) and a CSR adjacency
-    // of the non-self "has a rule with" relation (for incremental
-    // partner-weight maintenance).
-    const std::size_t n = protocol_.num_states();
-    self_rule_.assign(n, 0);
-    nonsilent_pairs_.clear();
-    std::unordered_set<std::uint64_t> seen;
-    std::vector<std::uint32_t> degree(n, 0);
-    for (const Transition& t : protocol_.transitions()) {
-        const StateId p = t.pre1, q = t.pre2;  // canonical: p ≤ q
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) << 32) |
-            static_cast<std::uint32_t>(q);
-        if (!seen.insert(key).second) continue;
-        nonsilent_pairs_.emplace_back(p, q);
-        if (p == q) {
-            self_rule_[static_cast<std::size_t>(p)] = 1;
-        } else {
-            ++degree[static_cast<std::size_t>(p)];
-            ++degree[static_cast<std::size_t>(q)];
-        }
-    }
-    partner_offsets_.assign(n + 1, 0);
-    for (std::size_t q = 0; q < n; ++q)
-        partner_offsets_[q + 1] = partner_offsets_[q] + degree[q];
-    partners_.resize(partner_offsets_[n]);
-    std::vector<std::uint32_t> cursor(partner_offsets_.begin(), partner_offsets_.end() - 1);
-    for (const auto& [p, q] : nonsilent_pairs_) {
-        if (p == q) continue;
-        partners_[cursor[static_cast<std::size_t>(p)]++] = q;
-        partners_[cursor[static_cast<std::size_t>(q)]++] = p;
-    }
-}
-
 bool Simulator::is_silent(const Config& config) const {
     const std::vector<StateId> support = config.support();
     for (std::size_t i = 0; i < support.size(); ++i) {
@@ -116,80 +99,142 @@ bool Simulator::is_provably_stable(const Config& config) const {
     return is_silent(config);
 }
 
-void Simulator::init_context(StepContext& ctx, const Config& config) const {
+template <typename W>
+Simulator::StepContextT<W>& Simulator::cache_slot() const noexcept {
+    if constexpr (std::is_same_v<W, Int128>) {
+        return cache128_;
+    } else {
+        return cache64_;
+    }
+}
+
+template <typename W>
+void Simulator::init_context(StepContextT<W>& ctx, const Config& config) const {
     PPSC_CHECK_MSG(config.num_states() == protocol_.num_states(),
                    "configuration does not match the simulator's protocol");
     ctx.agents.assign(config.counts());
-    const AgentCount n = config.size();
-    // n(n−1) must fit in int64 for ordered-pair weights.
-    ctx.track_pairs = n <= (AgentCount{1} << 31);
+    const auto pairs = protocol_.nonsilent_pairs();
     ctx.active_weight = 0;
-    ctx.partner_weight.assign(protocol_.num_states(), 0);
-    if (ctx.track_pairs) {
+    if (pair_select_ == PairSelect::fenwick) {
+        ctx.pair_weights.resize(pairs.size());
+        for (std::size_t i = 0; i < pairs.size(); ++i) {
+            ctx.pair_weights[i] = pair_weight<W>(config, pairs[i].first, pairs[i].second);
+            ctx.active_weight += ctx.pair_weights[i];
+        }
+        ctx.pair_tree.assign(ctx.pair_weights);
+        ctx.tree_mirror = ctx.pair_weights;
+    } else {
+        // Scan mode recomputes pair weights from the counts on selection;
+        // only the total W is kept incrementally, through the partner-sum
+        // identity Σ_q c_q · partner_weight[q] + Σ_self c(c−1), which counts
+        // every ordered non-silent pair exactly once.
         const auto& counts = config.counts();
+        ctx.partner_weight.assign(counts.size(), 0);
         for (std::size_t q = 0; q < counts.size(); ++q) {
             AgentCount w = 0;
-            for (std::uint32_t i = partner_offsets_[q]; i < partner_offsets_[q + 1]; ++i)
-                w += counts[static_cast<std::size_t>(partners_[i])];
+            for (const Protocol::PairNeighbor& nb : protocol_.pair_neighbors(static_cast<StateId>(q)))
+                w += counts[static_cast<std::size_t>(nb.partner)];
             ctx.partner_weight[q] = w;
-            // Σ_q c_q · partner_weight[q] counts every unordered pair twice,
-            // i.e. exactly the 2·c_p·c_q ordered-pair weight.
-            ctx.active_weight += counts[q] * w;
-            if (self_rule_[q]) ctx.active_weight += counts[q] * (counts[q] - 1);
+            ctx.active_weight += static_cast<W>(counts[q]) * static_cast<W>(w);
+            if (protocol_.self_pair(static_cast<StateId>(q)) != Protocol::kNoPair)
+                ctx.active_weight += static_cast<W>(counts[q]) * (static_cast<W>(counts[q]) - 1);
         }
     }
+    ctx.dirty.clear();
     ctx.owner = nullptr;
     ctx.version = 0;
 }
 
-Simulator::StepContext& Simulator::cached_context(const Config& config) const {
-    if (cache_.owner != &config || cache_.version != config.version()) {
-        init_context(cache_, config);
-        cache_.owner = &config;
-        cache_.version = config.version();
+template <typename W>
+Simulator::StepContextT<W>& Simulator::cached_context(const Config& config) const {
+    StepContextT<W>& cache = cache_slot<W>();
+    if (cache.owner != &config || cache.version != config.version()) {
+        init_context(cache, config);
+        cache.owner = &config;
+        cache.version = config.version();
     }
-    return cache_;
+    return cache;
 }
 
-void Simulator::apply_count_delta(StepContext& ctx, Config& config, StateId q,
+template <typename W>
+void Simulator::flush_pair_tree(StepContextT<W>& ctx) const {
+    if (ctx.dirty.empty()) return;
+    // Past the threshold an O(n) rebuild beats replaying the queue (and the
+    // queue stopped growing there, so this also bounds its memory).
+    if (ctx.dirty.size() >= ctx.pair_weights.size() / 8 + 16) {
+        ctx.pair_tree.assign(ctx.pair_weights);
+        ctx.tree_mirror = ctx.pair_weights;
+    } else {
+        for (const Protocol::PairId id : ctx.dirty) {
+            const W delta = ctx.pair_weights[id] - ctx.tree_mirror[id];
+            if (delta != 0) {
+                ctx.pair_tree.add(id, delta);
+                ctx.tree_mirror[id] = ctx.pair_weights[id];
+            }
+        }
+    }
+    ctx.dirty.clear();
+}
+
+template <typename W>
+void Simulator::apply_count_delta(StepContextT<W>& ctx, Config& config, StateId q,
                                   AgentCount delta) const {
     const AgentCount before = config[q];
     config.add(q, delta);
     ctx.agents.add(static_cast<std::size_t>(q), delta);
-    if (!ctx.track_pairs) return;
-    // Δ of c(c−1) for the self pair, 2·Δc·Σ partner counts for the rest.
-    if (self_rule_[static_cast<std::size_t>(q)])
-        ctx.active_weight += delta * (2 * before + delta - 1);
-    ctx.active_weight += 2 * delta * ctx.partner_weight[static_cast<std::size_t>(q)];
-    const std::uint32_t begin = partner_offsets_[static_cast<std::size_t>(q)];
-    const std::uint32_t end = partner_offsets_[static_cast<std::size_t>(q) + 1];
-    for (std::uint32_t i = begin; i < end; ++i)
-        ctx.partner_weight[static_cast<std::size_t>(partners_[i])] += delta;
+    // Δ of c(c−1) for the self pair, 2·Δc·count(p) for each cross pair; the
+    // protocol's delta table lists exactly the affected PairIds.
+    if (pair_select_ == PairSelect::fenwick) {
+        // Exact per-pair weights; the tree mirror is only marked stale —
+        // see flush_pair_tree.
+        const std::size_t queue_cap = ctx.pair_weights.size() / 8 + 16;
+        const auto touch = [&ctx, queue_cap](Protocol::PairId id, W weight_delta) {
+            ctx.active_weight += weight_delta;
+            ctx.pair_weights[id] += weight_delta;
+            if (ctx.dirty.size() < queue_cap) ctx.dirty.push_back(id);
+        };
+        if (const Protocol::PairId self = protocol_.self_pair(q); self != Protocol::kNoPair)
+            touch(self, static_cast<W>(delta) * (2 * static_cast<W>(before) + delta - 1));
+        for (const Protocol::PairNeighbor& nb : protocol_.pair_neighbors(q))
+            touch(nb.pair, 2 * static_cast<W>(delta) * static_cast<W>(config[nb.partner]));
+    } else {
+        // Scan mode: total W only, via the partner sums (one multiply per
+        // count change + O(deg) array adds).
+        if (protocol_.self_pair(q) != Protocol::kNoPair)
+            ctx.active_weight +=
+                static_cast<W>(delta) * (2 * static_cast<W>(before) + delta - 1);
+        ctx.active_weight += 2 * static_cast<W>(delta) *
+                             static_cast<W>(ctx.partner_weight[static_cast<std::size_t>(q)]);
+        for (const Protocol::PairNeighbor& nb : protocol_.pair_neighbors(q))
+            ctx.partner_weight[static_cast<std::size_t>(nb.partner)] += delta;
+    }
 }
 
-void Simulator::fire_in_context(StepContext& ctx, Config& config, const Transition& t) const {
+template <typename W>
+void Simulator::fire_in_context(StepContextT<W>& ctx, Config& config,
+                                const Transition& t) const {
     apply_count_delta(ctx, config, t.pre1, -1);
     apply_count_delta(ctx, config, t.pre2, -1);
     apply_count_delta(ctx, config, t.post1, 1);
     apply_count_delta(ctx, config, t.post2, 1);
 }
 
-std::pair<StateId, StateId> Simulator::sample_pair_in_context(const StepContext& ctx,
-                                                              Rng& rng) const {
+std::pair<StateId, StateId> Simulator::sample_pair_in_agents(const FenwickTree& agents,
+                                                             Rng& rng) const {
     // Sample an ordered pair of distinct agent ranks, then map ranks to
     // states through the Fenwick tree (O(log |Q|) instead of a prefix scan).
-    const std::int64_t n = ctx.agents.total();
+    const std::int64_t n = agents.total();
     PPSC_DASSERT(n >= 2);
     const auto r1 = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n)));
     auto r2 = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(n - 1)));
     if (r2 >= r1) ++r2;
-    return {static_cast<StateId>(ctx.agents.sample(r1)),
-            static_cast<StateId>(ctx.agents.sample(r2))};
+    return {static_cast<StateId>(agents.sample(r1)), static_cast<StateId>(agents.sample(r2))};
 }
 
-std::optional<TransitionId> Simulator::step_in_context(StepContext& ctx, Config& config,
+template <typename W>
+std::optional<TransitionId> Simulator::step_in_context(StepContextT<W>& ctx, Config& config,
                                                        Rng& rng) const {
-    const auto [s1, s2] = sample_pair_in_context(ctx, rng);
+    const auto [s1, s2] = sample_pair_in_agents(ctx.agents, rng);
     const auto rules = protocol_.rules_for_pair(s1, s2);
     if (rules.empty()) return std::nullopt;  // silent encounter
 
@@ -198,17 +243,17 @@ std::optional<TransitionId> Simulator::step_in_context(StepContext& ctx, Config&
     return chosen;
 }
 
-std::optional<TransitionId> Simulator::advance(StepContext& ctx, Config& config, Rng& rng,
+template <typename W>
+std::optional<TransitionId> Simulator::advance(StepContextT<W>& ctx, Config& config, Rng& rng,
                                                std::uint64_t budget,
                                                std::uint64_t* consumed) const {
-    PPSC_DASSERT(ctx.track_pairs);
     *consumed = 0;
     if (budget == 0) return std::nullopt;
-    const std::int64_t weight = ctx.active_weight;
+    const W weight = ctx.active_weight;
     if (weight == 0) return std::nullopt;  // silent: nothing fires, ever
 
-    const AgentCount n = config.size();
-    const std::int64_t pairs = n * (n - 1);
+    const auto n = static_cast<W>(config.size());
+    const W pairs = n * (n - 1);
     std::uint64_t silent_steps = 0;
     if (weight > pairs / 8) {
         // Dense regime: most encounters fire, per-encounter sampling is
@@ -218,7 +263,7 @@ std::optional<TransitionId> Simulator::advance(StepContext& ctx, Config& config,
                 *consumed = budget;
                 return std::nullopt;
             }
-            const auto [s1, s2] = sample_pair_in_context(ctx, rng);
+            const auto [s1, s2] = sample_pair_in_agents(ctx.agents, rng);
             const auto rules = protocol_.rules_for_pair(s1, s2);
             if (!rules.empty()) {
                 const TransitionId chosen = choose_rule(rules, rng);
@@ -237,35 +282,60 @@ std::optional<TransitionId> Simulator::advance(StepContext& ctx, Config& config,
     const double p = static_cast<double>(weight) / static_cast<double>(pairs);
     const double u = 1.0 - rng.uniform();  // (0, 1]
     const double skip = std::floor(std::log(u) / std::log1p(-p));
-    if (skip >= static_cast<double>(budget)) {
+    // Clamp before any integer conversion: beyond 2⁵³ the double no longer
+    // holds an exact count (and a cast to uint64 could overflow outright),
+    // so treat any such skip as "at least the whole budget is silent" —
+    // `consumed` must never over-count past `budget`.
+    if (!(skip < 0x1p53) || static_cast<std::uint64_t>(skip) >= budget) {
         *consumed = budget;
         return std::nullopt;
     }
     silent_steps = static_cast<std::uint64_t>(skip);
 
     // The interacting state pair, conditioned on the encounter being
-    // non-silent, is weight-proportional over the non-silent pairs.
-    std::int64_t r = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(weight)));
-    for (const auto& [a, b] : nonsilent_pairs_) {
-        const std::int64_t w = a == b ? config[a] * (config[a] - 1) : 2 * config[a] * config[b];
-        if (r < w) {
-            const auto rules = protocol_.rules_for_pair(a, b);
-            PPSC_DASSERT(!rules.empty());
-            const TransitionId chosen = choose_rule(rules, rng);
-            fire_in_context(ctx, config,
-                            protocol_.transitions()[static_cast<std::size_t>(chosen)]);
-            *consumed = silent_steps + 1;
-            return chosen;
+    // non-silent, is weight-proportional over the non-silent pairs.  Both
+    // selection modes resolve the same rank draw over the same weights in
+    // the same order, so they fire identical transitions per seed.
+    const auto r = static_cast<W>(rng.below128(static_cast<unsigned __int128>(weight)));
+    Protocol::PairId chosen_pair = Protocol::kNoPair;
+    if (pair_select_ == PairSelect::fenwick) {
+        flush_pair_tree(ctx);
+        PPSC_DASSERT(ctx.pair_tree.total() == ctx.active_weight);
+        chosen_pair = static_cast<Protocol::PairId>(ctx.pair_tree.sample(r));
+    } else {
+        // Reference O(#pairs) cumulative scan, recomputed from the counts —
+        // independently cross-checks the incremental weight accounting.
+        W rest = r;
+        const auto nonsilent = protocol_.nonsilent_pairs();
+        for (std::size_t i = 0; i < nonsilent.size(); ++i) {
+            const W w = pair_weight<W>(config, nonsilent[i].first, nonsilent[i].second);
+            if (rest < w) {
+                chosen_pair = static_cast<Protocol::PairId>(i);
+                break;
+            }
+            rest -= w;
         }
-        r -= w;
+        PPSC_CHECK_MSG(chosen_pair != Protocol::kNoPair,
+                       "active pair weight out of sync with counts");
     }
-    PPSC_CHECK_MSG(false, "active pair weight out of sync with counts");
-    return std::nullopt;  // unreachable
+    const auto [a, b] = protocol_.nonsilent_pairs()[chosen_pair];
+    const auto rules = protocol_.rules_for_pair(a, b);
+    PPSC_DASSERT(!rules.empty());
+    const TransitionId chosen = choose_rule(rules, rng);
+    fire_in_context(ctx, config, protocol_.transitions()[static_cast<std::size_t>(chosen)]);
+    *consumed = silent_steps + 1;
+    return chosen;
 }
 
 std::optional<TransitionId> Simulator::step(Config& config, Rng& rng) const {
     PPSC_CHECK_MSG(config.size() >= 2, "simulation needs at least two agents");
-    StepContext& ctx = cached_context(config);
+    if (pairs_fit_int64(config.size())) {
+        StepContextT<std::int64_t>& ctx = cached_context<std::int64_t>(config);
+        const auto fired = step_in_context(ctx, config, rng);
+        ctx.version = config.version();
+        return fired;
+    }
+    StepContextT<Int128>& ctx = cached_context<Int128>(config);
     const auto fired = step_in_context(ctx, config, rng);
     ctx.version = config.version();
     return fired;
@@ -273,43 +343,61 @@ std::optional<TransitionId> Simulator::step(Config& config, Rng& rng) const {
 
 std::pair<StateId, StateId> Simulator::sample_pair(const Config& config, Rng& rng) const {
     PPSC_CHECK_MSG(config.size() >= 2, "sampling needs at least two agents");
-    return sample_pair_in_context(cached_context(config), rng);
+    if (pairs_fit_int64(config.size()))
+        return sample_pair_in_agents(cached_context<std::int64_t>(config).agents, rng);
+    return sample_pair_in_agents(cached_context<Int128>(config).agents, rng);
 }
 
-std::uint64_t Simulator::run_batch(Config& config, Rng& rng,
-                                   std::uint64_t max_interactions) const {
-    if (config.size() < 2)
-        throw std::invalid_argument(
-            "Simulator::run_batch: configurations need at least two agents");
-    StepContext& ctx = cached_context(config);
+template <typename W>
+std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng,
+                                        std::uint64_t max_interactions) const {
+    StepContextT<W>& ctx = cached_context<W>(config);
     std::uint64_t done = 0;
-    if (ctx.track_pairs) {
-        while (done < max_interactions) {
-            std::uint64_t consumed = 0;
-            const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
-            done += consumed;
-            if (!fired && consumed == 0) break;  // silent: no interaction can fire again
-        }
-    } else {
-        const auto interval = static_cast<std::uint64_t>(config.size());
-        while (done < max_interactions) {
-            step_in_context(ctx, config, rng);
-            ++done;
-            if (done % interval == 0 && is_silent(config)) break;
-        }
+    while (done < max_interactions) {
+        std::uint64_t consumed = 0;
+        const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
+        done += consumed;
+        if (!fired && consumed == 0) break;  // silent: no interaction can fire again
     }
     ctx.version = config.version();
     return done;
 }
 
-SimulationResult Simulator::run(Config config, Rng& rng,
-                                const SimulationOptions& options) const {
+std::uint64_t Simulator::run_batch(Config& config, Rng& rng,
+                                   std::uint64_t max_interactions) const {
+    // Populations of 0 or 1 agents have no ordered pairs (n(n−1) == 0):
+    // no encounter can ever happen, so the batch is trivially complete.
+    if (config.size() < 2) return 0;
+    if (pairs_fit_int64(config.size()))
+        return run_batch_impl<std::int64_t>(config, rng, max_interactions);
+    return run_batch_impl<Int128>(config, rng, max_interactions);
+}
+
+std::optional<TransitionId> Simulator::fired_step(Config& config, Rng& rng, std::uint64_t budget,
+                                                  std::uint64_t* consumed) const {
+    std::uint64_t local = 0;
+    std::uint64_t* out = consumed != nullptr ? consumed : &local;
+    *out = 0;
+    if (config.size() < 2) return std::nullopt;  // no pairs, trivially silent
+    if (pairs_fit_int64(config.size())) {
+        StepContextT<std::int64_t>& ctx = cached_context<std::int64_t>(config);
+        const auto fired = advance(ctx, config, rng, budget, out);
+        ctx.version = config.version();
+        return fired;
+    }
+    StepContextT<Int128>& ctx = cached_context<Int128>(config);
+    const auto fired = advance(ctx, config, rng, budget, out);
+    ctx.version = config.version();
+    return fired;
+}
+
+template <typename W>
+SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
+                                     const SimulationOptions& options) const {
     const AgentCount population = config.size();
-    if (population < 2)
-        throw std::invalid_argument("Simulator::run: configurations need at least two agents");
 
     // Per-run context on the stack: run() stays thread-safe.
-    StepContext ctx;
+    StepContextT<W> ctx;
     init_context(ctx, config);
 
     // Track, incrementally, how many agents sit outside each output trap;
@@ -322,8 +410,7 @@ SimulationResult Simulator::run(Config config, Rng& rng,
     }
 
     std::uint64_t interactions = 0;
-    bool converged = outside[0] == 0 || outside[1] == 0 ||
-                     (ctx.track_pairs ? ctx.active_weight == 0 : is_silent(config));
+    bool converged = outside[0] == 0 || outside[1] == 0 || ctx.active_weight == 0;
 
     // Moves the fired transition's agents between the outside-the-trap
     // counters; returns true when one trap captured the whole population.
@@ -339,34 +426,16 @@ SimulationResult Simulator::run(Config config, Rng& rng,
         return outside[0] == 0 || outside[1] == 0;
     };
 
-    if (ctx.track_pairs) {
-        while (!converged && interactions < options.max_interactions) {
-            std::uint64_t consumed = 0;
-            const auto fired =
-                advance(ctx, config, rng, options.max_interactions - interactions, &consumed);
-            interactions += consumed;
-            if (!fired) {
-                if (consumed == 0) converged = true;  // silent
-                continue;  // else: budget exhausted, loop condition exits
-            }
-            if (trap_counters_hit_zero(*fired) || ctx.active_weight == 0) converged = true;
+    while (!converged && interactions < options.max_interactions) {
+        std::uint64_t consumed = 0;
+        const auto fired =
+            advance(ctx, config, rng, options.max_interactions - interactions, &consumed);
+        interactions += consumed;
+        if (!fired) {
+            if (consumed == 0) converged = true;  // silent
+            continue;  // else: budget exhausted, loop condition exits
         }
-    } else {
-        // Populations beyond pair-weight range: per-encounter stepping with
-        // the legacy periodic silence rescan.
-        const std::uint64_t silent_interval =
-            options.silent_check_interval != 0
-                ? options.silent_check_interval
-                : static_cast<std::uint64_t>(population);
-        while (!converged && interactions < options.max_interactions) {
-            const std::optional<TransitionId> fired = step_in_context(ctx, config, rng);
-            ++interactions;
-            if (fired && trap_counters_hit_zero(*fired)) {
-                converged = true;
-                break;
-            }
-            if (interactions % silent_interval == 0 && is_silent(config)) converged = true;
-        }
+        if (trap_counters_hit_zero(*fired) || ctx.active_weight == 0) converged = true;
     }
 
     SimulationResult result{std::move(config), interactions, converged, std::nullopt, 0.0};
@@ -374,6 +443,15 @@ SimulationResult Simulator::run(Config config, Rng& rng,
     result.parallel_time =
         static_cast<double>(interactions) / static_cast<double>(population);
     return result;
+}
+
+SimulationResult Simulator::run(Config config, Rng& rng,
+                                const SimulationOptions& options) const {
+    if (config.size() < 2)
+        throw std::invalid_argument("Simulator::run: configurations need at least two agents");
+    if (pairs_fit_int64(config.size()))
+        return run_impl<std::int64_t>(std::move(config), rng, options);
+    return run_impl<Int128>(std::move(config), rng, options);
 }
 
 SimulationResult Simulator::run_input(AgentCount input, Rng& rng,

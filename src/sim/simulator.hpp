@@ -4,22 +4,34 @@
 // pair of distinct agents is chosen uniformly at random and interacts.
 // Parallel time = interactions / number of agents.
 //
-// Engine.  The hot path is built around three ideas:
+// Engine.  The hot path is built around four ideas:
 //
-//   1. Fenwick sampling: agent ranks map to states through a Fenwick tree
-//      over the count vector (O(log |Q|) per sample, O(log |Q|) to keep in
-//      sync when a transition fires) instead of an O(|Q|) prefix scan.
+//   1. Fenwick agent sampling: agent ranks map to states through a Fenwick
+//      tree over the count vector (O(log |Q|) per sample, O(log |Q|) to keep
+//      in sync when a transition fires) instead of an O(|Q|) prefix scan.
 //   2. Incremental silence detection: the engine maintains W = the number
 //      of *ordered agent pairs* whose state pair enables a non-silent
 //      transition.  W = 0 ⟺ the configuration is silent, so silence is
-//      detected exactly and in O(1) instead of by an O(|support|²) rescan
-//      every `population` steps.
+//      detected exactly and in O(1).  The weight arithmetic is templated on
+//      the population scale: int64 while n(n−1) fits (n ≤ 2³¹ agents),
+//      128-bit beyond — populations past 2³¹ take the same fast path as
+//      small ones instead of falling back to per-encounter stepping.
 //   3. Rejection-free batching: when W is small relative to the n(n−1)
 //      ordered pairs, the number of consecutive silent encounters is
 //      geometrically distributed — run()/run_batch() sample it in one shot
 //      and advance the interaction counter without executing the silent
 //      encounters one by one.  The resulting trajectory distribution is
 //      exactly that of the naive per-encounter chain.
+//   4. Pair-weight Fenwick sampling: the interacting pair of a fired step
+//      (weight-proportional over the non-silent pairs) is drawn from a
+//      second Fenwick tree over the ordered pair weights, fed by the same
+//      delta machinery that maintains W and flushed lazily right before a
+//      selection — O(log #pairs) per fired interaction instead of the
+//      O(#pairs) scan the engine used before, which dominated protocols
+//      with many non-silent pairs (the double-exponential threshold
+//      workload has millions), while dense-regime stepping keeps its
+//      O(deg) cost.  Protocols with only a handful of non-silent pairs
+//      stay on the (there faster) scan automatically.
 //
 // Convergence detection.  True stabilisation ("no reachable configuration
 // changes the output") is undecidable to detect locally, so the simulator
@@ -39,8 +51,9 @@
 //
 // Thread safety: run()/run_input() are const and keep all mutable state on
 // the stack, so one Simulator may serve concurrent runs (this is what the
-// parallel convergence sweeps do).  step()/run_batch()/sample_pair() share
-// a per-simulator sampler cache and must not be called concurrently.
+// parallel convergence sweeps do).  step()/run_batch()/fired_step()/
+// sample_pair() share a per-simulator sampler cache and must not be called
+// concurrently.
 #pragma once
 
 #include <cstdint>
@@ -58,12 +71,6 @@ namespace ppsc {
 struct SimulationOptions {
     /// Hard cap on interactions before giving up.
     std::uint64_t max_interactions = 50'000'000;
-
-    /// Legacy knob.  Silence is now detected incrementally and exactly, so
-    /// this only governs the periodic O(|support|²) fallback check used for
-    /// populations too large for pair-weight tracking (> 2³¹ agents);
-    /// 0 means "population size".
-    std::uint64_t silent_check_interval = 0;
 };
 
 struct SimulationResult {
@@ -74,11 +81,24 @@ struct SimulationResult {
     double parallel_time = 0.0;       ///< interactions / population
 };
 
-/// Reusable simulator for one protocol (precomputes output traps and the
-/// non-silent pair structure).
+/// How the interacting pair of a fired step is selected.  `fenwick` draws
+/// from the pair-weight Fenwick tree (O(log #pairs)); `scan` is the
+/// reference O(#pairs) cumulative scan, kept for equivalence tests and
+/// benchmarks — and genuinely faster on protocols with only a handful of
+/// non-silent pairs, which is what `automatic` (the default) picks it for.
+/// All modes consume the same random draw and select over the same weights
+/// in the same order, so trajectories are identical per seed.
+enum class PairSelect { automatic, fenwick, scan };
+
+/// Reusable simulator for one protocol (precomputes output traps; the
+/// non-silent pair structure comes from the protocol's CSR tables).
 class Simulator {
 public:
-    explicit Simulator(const Protocol& protocol);
+    explicit Simulator(const Protocol& protocol,
+                       PairSelect pair_select = PairSelect::automatic);
+
+    /// The selection mode actually in use (`automatic` resolved).
+    PairSelect pair_selection() const noexcept { return pair_select_; }
 
     /// Runs from `config` until a sound stability condition holds or the
     /// interaction budget is exhausted.  Thread-safe.
@@ -95,10 +115,21 @@ public:
 
     /// Executes up to `max_interactions` interactions on `config` (silent
     /// encounters are counted and, when profitable, skipped in bulk without
-    /// changing the trajectory distribution).  Returns the number executed;
-    /// the return value is < max_interactions only when the configuration
-    /// became silent (no transition can ever fire again).  Not thread-safe.
+    /// changing the trajectory distribution).  Returns the number executed —
+    /// never more than `max_interactions`; less only when the configuration
+    /// became silent (no transition can ever fire again).  Populations of 0
+    /// or 1 agents have no pairs and return 0 cleanly.  Not thread-safe.
     std::uint64_t run_batch(Config& config, Rng& rng, std::uint64_t max_interactions) const;
+
+    /// Advances the chain to its next *fired* interaction: consumes the
+    /// (geometrically distributed) run of silent encounters, then fires one
+    /// non-silent transition and returns it.  Sets *consumed (if non-null)
+    /// to the interactions executed, silent run included.  Returns nullopt
+    /// with *consumed == 0 when the configuration is silent (or has < 2
+    /// agents), and nullopt with *consumed == budget when the budget ran
+    /// out inside the silent run.  Not thread-safe.
+    std::optional<TransitionId> fired_step(Config& config, Rng& rng, std::uint64_t budget,
+                                           std::uint64_t* consumed = nullptr) const;
 
     /// Samples the states of a uniform ordered pair of distinct agents
     /// without mutating `config` — the scheduler's encounter distribution.
@@ -117,62 +148,98 @@ public:
     bool is_provably_stable(const Config& config) const;
 
 private:
-    /// Incremental per-configuration sampler state.  Everything here is a
-    /// function of (protocol, current counts); run() keeps one on the
-    /// stack, step()/run_batch() share the cached one keyed on
-    /// (config address, config version).
-    struct StepContext {
+    /// Incremental per-configuration sampler state, templated on the pair
+    /// weight type: int64 while every ordered pair weight fits (populations
+    /// ≤ 2³¹ agents), Int128 beyond.  Everything here is a function of
+    /// (protocol, current counts); run() keeps one on the stack,
+    /// step()/run_batch()/fired_step() share the cached one (per width)
+    /// keyed on (config address, config version).
+    ///
+    /// The ordered pair weights (c(c−1) for self pairs, 2·c_p·c_q
+    /// otherwise, by PairId) live in two layers: `pair_weights` and
+    /// `active_weight` are exact after every count change at O(deg) array
+    /// cost, while the Fenwick `pair_tree` used for O(log #pairs)
+    /// fired-pair selection is a *lazy mirror*, flushed (or rebuilt, when
+    /// cheaper) only when a sparse-regime selection actually needs it —
+    /// dense-regime stepping never pays tree maintenance.
+    template <typename Weight>
+    struct StepContextT {
         FenwickTree agents;  ///< Fenwick tree over the count vector
-        /// partner_weight[q] = Σ counts[p] over non-self non-silent
-        /// partners p of q; maintains active_weight in O(deg) per update.
+        std::vector<Weight> pair_weights;  ///< exact weights, by PairId
+        Weight active_weight = 0;          ///< Σ pair_weights = W; 0 ⟺ silent
+        BasicFenwickTree<Weight> pair_tree;  ///< lazy mirror of pair_weights
+        std::vector<Weight> tree_mirror;     ///< what pair_tree currently holds
+        /// PairIds whose mirror entry may be stale (duplicates allowed).
+        /// Once it passes the rebuild threshold the next flush rebuilds the
+        /// whole tree instead, so the queue — and per-update work — stays
+        /// bounded through arbitrarily long dense phases.
+        std::vector<Protocol::PairId> dirty;
+        /// Scan mode only: partner_weight[q] = Σ counts[p] over non-self
+        /// non-silent partners p of q, which maintains active_weight with a
+        /// single multiply per count change instead of per-pair products
+        /// (scan selection recomputes per-pair weights from the counts).
         std::vector<AgentCount> partner_weight;
-        /// Number of ordered agent pairs enabling a non-silent transition;
-        /// 0 ⟺ silent.  Valid only when track_pairs.
-        std::int64_t active_weight = 0;
-        /// Pair-weight tracking needs n(n−1) < 2⁶³; populations beyond
-        /// 2³¹ agents fall back to per-encounter stepping + periodic
-        /// silence rescans.
-        bool track_pairs = false;
         const Config* owner = nullptr;
         std::uint64_t version = 0;
     };
 
+    /// Pair weights fit int64 exactly when n(n−1) does: n ≤ 2³¹ agents.
+    static bool pairs_fit_int64(AgentCount population) noexcept {
+        return population <= (AgentCount{1} << 31);
+    }
+
     void compute_output_traps();
-    void build_pair_structure();
 
-    void init_context(StepContext& ctx, const Config& config) const;
-    StepContext& cached_context(const Config& config) const;
+    template <typename W>
+    void init_context(StepContextT<W>& ctx, const Config& config) const;
+    template <typename W>
+    StepContextT<W>& cached_context(const Config& config) const;
 
-    /// Adds `delta` agents to state q, keeping the Fenwick tree, the
-    /// partner weights, and active_weight in sync.
-    void apply_count_delta(StepContext& ctx, Config& config, StateId q, AgentCount delta) const;
-    void fire_in_context(StepContext& ctx, Config& config, const Transition& t) const;
+    /// Adds `delta` agents to state q, keeping the agent tree and the exact
+    /// pair-weight layer in sync (O(deg(q)) via the protocol's per-pair
+    /// delta table; the pair tree is only marked stale).
+    template <typename W>
+    void apply_count_delta(StepContextT<W>& ctx, Config& config, StateId q,
+                           AgentCount delta) const;
+    template <typename W>
+    void fire_in_context(StepContextT<W>& ctx, Config& config, const Transition& t) const;
 
-    std::pair<StateId, StateId> sample_pair_in_context(const StepContext& ctx, Rng& rng) const;
-    std::optional<TransitionId> step_in_context(StepContext& ctx, Config& config, Rng& rng) const;
+    /// Brings the pair tree up to date with pair_weights: applies the queued
+    /// deltas, or rebuilds outright once that is cheaper.
+    template <typename W>
+    void flush_pair_tree(StepContextT<W>& ctx) const;
+
+    std::pair<StateId, StateId> sample_pair_in_agents(const FenwickTree& agents, Rng& rng) const;
+    template <typename W>
+    std::optional<TransitionId> step_in_context(StepContextT<W>& ctx, Config& config,
+                                                Rng& rng) const;
 
     /// Advances the interaction chain by up to `budget` interactions:
     /// consumes the (geometrically distributed) run of silent encounters,
     /// then fires one non-silent transition.  Sets *consumed to the number
-    /// of interactions executed (silent run + the firing one).  Returns
-    /// nullopt with *consumed == 0 iff the configuration is silent, and
-    /// nullopt with *consumed == budget when the budget ran out first.
-    /// Requires ctx.track_pairs.
-    std::optional<TransitionId> advance(StepContext& ctx, Config& config, Rng& rng,
+    /// of interactions executed (silent run + the firing one), never more
+    /// than `budget`.  Returns nullopt with *consumed == 0 iff the
+    /// configuration is silent, and nullopt with *consumed == budget when
+    /// the budget ran out first.
+    template <typename W>
+    std::optional<TransitionId> advance(StepContextT<W>& ctx, Config& config, Rng& rng,
                                         std::uint64_t budget, std::uint64_t* consumed) const;
+
+    template <typename W>
+    SimulationResult run_impl(Config&& config, Rng& rng, const SimulationOptions& options) const;
+    template <typename W>
+    std::uint64_t run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions) const;
 
     // Owned copy: simulators are long-lived; never dangle on a temporary.
     Protocol protocol_;
+    PairSelect pair_select_;
     std::vector<bool> traps_[2];  // traps_[b][q]: q belongs to the b-trap
 
-    // Non-silent pair structure (CSR adjacency of the "has a rule with"
-    // relation, self-pairs split out), precomputed from the protocol.
-    std::vector<std::pair<StateId, StateId>> nonsilent_pairs_;  // p ≤ q, deduped
-    std::vector<std::uint32_t> partner_offsets_;  // CSR offsets, size |Q|+1
-    std::vector<StateId> partners_;               // non-self partners, flat
-    std::vector<std::uint8_t> self_rule_;         // {q,q} has a rule
+    mutable StepContextT<std::int64_t> cache64_;
+    mutable StepContextT<Int128> cache128_;
 
-    mutable StepContext cache_;
+    template <typename W>
+    StepContextT<W>& cache_slot() const noexcept;
 };
 
 }  // namespace ppsc

@@ -2,31 +2,9 @@
 
 namespace ppsc {
 
-void FenwickTree::assign(std::span<const std::int64_t> weights) {
-    size_ = weights.size();
-    top_mask_ = size_ == 0 ? 0 : std::bit_floor(size_);
-    tree_.assign(size_ + 1, 0);
-    total_ = 0;
-    // O(n) build: seed each node with its weight, then push partial sums to
-    // the parent in index order.
-    for (std::size_t i = 1; i <= size_; ++i) {
-        tree_[i] += weights[i - 1];
-        total_ += weights[i - 1];
-        const std::size_t parent = i + (i & (~i + 1));
-        if (parent <= size_) tree_[parent] += tree_[i];
-    }
-}
-
-std::int64_t FenwickTree::prefix_sum(std::size_t i) const {
-    PPSC_DASSERT(i <= size_);
-    std::int64_t sum = 0;
-    for (std::size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
-    return sum;
-}
-
-std::int64_t FenwickTree::value(std::size_t i) const {
-    PPSC_DASSERT(i < size_);
-    return prefix_sum(i + 1) - prefix_sum(i);
-}
+// The two instantiations the library uses; keeping them here spares every
+// including translation unit the template expansion.
+template class BasicFenwickTree<std::int64_t>;
+template class BasicFenwickTree<Int128>;
 
 }  // namespace ppsc

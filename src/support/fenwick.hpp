@@ -1,16 +1,22 @@
-// Fenwick (binary indexed) tree over signed 64-bit weights.
+// Fenwick (binary indexed) tree, templated over the weight type.
 //
-// The simulation hot path needs three operations on the agent-count vector
-// of a configuration: point update (a transition moves agents between
-// states), total weight (the population size), and inverse-CDF sampling
-// ("which state holds the agent with rank r?").  A Fenwick tree does all
-// three in O(log n) — replacing the O(n) prefix scan the simulator used to
-// run on every interaction — and its flat array layout keeps the whole
-// structure in one or two cache lines for the protocol sizes this library
-// works with.
+// The simulation hot path needs three operations on a weight vector: point
+// update (a transition moves agents between states, or changes the weight of
+// an ordered state pair), total weight, and inverse-CDF sampling ("which
+// slot holds rank r?").  A Fenwick tree does all three in O(log n) — and its
+// flat array layout keeps the whole structure in a handful of cache lines
+// for the sizes this library works with.
+//
+// Two instantiations are used:
+//   * FenwickTree    — int64 weights, the per-state agent counts;
+//   * FenwickTree128 — __int128 weights, the ordered non-silent *pair*
+//     weights of the simulator (2·c_p·c_q can exceed int64 as soon as the
+//     population passes 2³¹ agents, so the pair tree is 128-bit throughout).
 //
 // Weights must stay non-negative for sample() to be meaningful; add() does
-// not enforce this (the simulator's count arithmetic already does).
+// not enforce this (the simulator's count arithmetic already does).  All
+// operations are well-defined on an empty tree (size 0, total 0); sample()
+// additionally requires total() > 0.
 #pragma once
 
 #include <bit>
@@ -22,36 +28,62 @@
 
 namespace ppsc {
 
-class FenwickTree {
-public:
-    FenwickTree() = default;
-    explicit FenwickTree(std::span<const std::int64_t> weights) { assign(weights); }
+/// Signed 128-bit weights for quantities quadratic in the population
+/// (ordered pair counts n·(n−1) overflow int64 beyond 2³¹ agents).
+using Int128 = __int128;
 
-    /// Rebuilds the tree over `weights` in O(n).
-    void assign(std::span<const std::int64_t> weights);
+template <typename Weight>
+class BasicFenwickTree {
+public:
+    BasicFenwickTree() = default;
+    explicit BasicFenwickTree(std::span<const Weight> weights) { assign(weights); }
+
+    /// Rebuilds the tree over `weights` in O(n).  An empty span yields the
+    /// empty tree (size 0, total 0) and is always safe.
+    void assign(std::span<const Weight> weights) {
+        size_ = weights.size();
+        top_mask_ = size_ == 0 ? 0 : std::bit_floor(size_);
+        tree_.assign(size_ + 1, 0);
+        total_ = 0;
+        // O(n) build: seed each node with its weight, then push partial sums
+        // to the parent in index order.
+        for (std::size_t i = 1; i <= size_; ++i) {
+            tree_[i] += weights[i - 1];
+            total_ += weights[i - 1];
+            const std::size_t parent = i + (i & (~i + 1));
+            if (parent <= size_) tree_[parent] += tree_[i];
+        }
+    }
 
     std::size_t size() const noexcept { return size_; }
 
     /// Sum of all weights, maintained incrementally — O(1).
-    std::int64_t total() const noexcept { return total_; }
+    Weight total() const noexcept { return total_; }
 
     /// weights[i] += delta — O(log n).
-    void add(std::size_t i, std::int64_t delta) {
+    void add(std::size_t i, Weight delta) {
         PPSC_DASSERT(i < size_);
         total_ += delta;
         for (std::size_t j = i + 1; j <= size_; j += j & (~j + 1)) tree_[j] += delta;
     }
 
     /// Sum of weights[0..i) — O(log n).
-    std::int64_t prefix_sum(std::size_t i) const;
+    Weight prefix_sum(std::size_t i) const {
+        PPSC_DASSERT(i <= size_);
+        Weight sum = 0;
+        for (std::size_t j = i; j > 0; j -= j & (~j + 1)) sum += tree_[j];
+        return sum;
+    }
 
     /// weights[i] — O(log n).
-    std::int64_t value(std::size_t i) const;
+    Weight value(std::size_t i) const {
+        PPSC_DASSERT(i < size_);
+        return prefix_sum(i + 1) - prefix_sum(i);
+    }
 
-    /// The smallest index i with prefix_sum(i+1) > r, i.e. the state holding
-    /// the agent of rank `r` when weights are agent counts.  Requires
-    /// 0 ≤ r < total().  O(log n).
-    std::size_t sample(std::int64_t r) const {
+    /// The smallest index i with prefix_sum(i+1) > r, i.e. the slot holding
+    /// rank `r`.  Requires 0 ≤ r < total().  O(log n).
+    std::size_t sample(Weight r) const {
         PPSC_DASSERT(r >= 0 && r < total_);
         std::size_t idx = 0;
         for (std::size_t mask = top_mask_; mask != 0; mask >>= 1) {
@@ -65,10 +97,18 @@ public:
     }
 
 private:
-    std::vector<std::int64_t> tree_;  // 1-based implicit binary indexed tree
+    std::vector<Weight> tree_;  // 1-based implicit binary indexed tree
     std::size_t size_ = 0;
     std::size_t top_mask_ = 0;  // largest power of two ≤ size_
-    std::int64_t total_ = 0;
+    Weight total_ = 0;
 };
+
+extern template class BasicFenwickTree<std::int64_t>;
+extern template class BasicFenwickTree<Int128>;
+
+/// Agent-count tree (weights bounded by the population, fits int64).
+using FenwickTree = BasicFenwickTree<std::int64_t>;
+/// Ordered-pair-weight tree (weights quadratic in the population).
+using FenwickTree128 = BasicFenwickTree<Int128>;
 
 }  // namespace ppsc

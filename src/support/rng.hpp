@@ -7,6 +7,7 @@
 // protocol scheduling (we are not doing cryptography).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 #include "support/check.hpp"
@@ -39,6 +40,35 @@ public:
             }
         }
         return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform value in [0, bound) for bounds beyond 64 bits (ordered-pair
+    /// weights of populations past 2³¹ agents).  Requires bound > 0.
+    /// Delegates to below() whenever the bound fits a word, so callers that
+    /// stay in 64-bit range consume the stream exactly as before.
+    unsigned __int128 below128(unsigned __int128 bound) noexcept {
+        PPSC_CHECK(bound > 0);
+        constexpr auto kWordMax = static_cast<unsigned __int128>(~std::uint64_t{0});
+        if (bound <= kWordMax) return below(static_cast<std::uint64_t>(bound));
+        // Mask-and-reject over the smallest power-of-two range covering
+        // bound: < 2 draws of 128 bits in expectation.
+        const auto high = static_cast<std::uint64_t>((bound - 1) >> 64);  // > 0 here
+        const int bits = 128 - std::countl_zero(high);
+        const unsigned __int128 mask =
+            (static_cast<unsigned __int128>(bits == 128 ? ~std::uint64_t{0}
+                                                        : (std::uint64_t{1} << (bits - 64)) - 1)
+             << 64) |
+            ~std::uint64_t{0};
+        while (true) {
+            // Two sequenced draws: high word first.  (A single combined
+            // expression would leave the call order unspecified and make
+            // per-seed trajectories compiler-dependent.)
+            const std::uint64_t high_word = next();
+            const std::uint64_t low_word = next();
+            const unsigned __int128 v =
+                ((static_cast<unsigned __int128>(high_word) << 64) | low_word) & mask;
+            if (v < bound) return v;
+        }
     }
 
     /// Uniform double in [0, 1).

@@ -67,12 +67,84 @@ TEST(RunBatch, AgreesWithSingleSteppingUnderSameSeed) {
     EXPECT_EQ(batch_config.size(), step_config.size());
 }
 
-TEST(RunBatch, RejectsTooSmallPopulations) {
+TEST(RunBatch, ReturnsZeroCleanlyOnDegeneratePopulations) {
+    // Populations of 0 or 1 agents have n(n−1) == 0 ordered pairs: no
+    // encounter can ever happen, so the batch is trivially complete rather
+    // than an error.
     const Protocol p = protocols::unary_threshold(2);
     const Simulator sim(p);
-    Config config = Config::single(p.num_states(), 0, 1);
     Rng rng(1);
-    EXPECT_THROW(sim.run_batch(config, rng, 10), std::invalid_argument);
+    Config empty(p.num_states());
+    EXPECT_EQ(sim.run_batch(empty, rng, 10), 0u);
+    EXPECT_EQ(empty.size(), 0);
+    Config lonely = Config::single(p.num_states(), 0, 1);
+    EXPECT_EQ(sim.run_batch(lonely, rng, 10), 0u);
+    EXPECT_EQ(lonely.size(), 1);
+    // fired_step reports the same boundary as "silent": nothing fires.
+    std::uint64_t consumed = 99;
+    EXPECT_EQ(sim.fired_step(lonely, rng, 10, &consumed), std::nullopt);
+    EXPECT_EQ(consumed, 0u);
+}
+
+TEST(RunBatch, ConsumesBudgetExactlyInTheSparseRegime) {
+    // A far-from-silent sparse configuration: the geometric silent-skip
+    // regularly overshoots small budgets and must be clamped so `consumed`
+    // is reported exactly — never past the budget.
+    const Protocol p = protocols::collector_threshold(2);
+    const Simulator sim(p);
+    const auto t0 = p.input_state(0);
+    const auto top = p.find_state("T");
+    ASSERT_TRUE(top.has_value());
+    Rng rng(31337);
+    for (const std::uint64_t budget : {1u, 2u, 3u, 7u, 100u}) {
+        // Two mergeable tokens drowned in accepted agents: tiny weight,
+        // huge pair count.
+        Config config(p.num_states());
+        config.set(t0, 2);
+        config.set(*top, 1 << 16);
+        std::uint64_t total = 0;
+        // Until something fires the configuration is not silent, so every
+        // batch must consume its full budget, exactly.
+        for (int round = 0; round < 50; ++round) {
+            const std::uint64_t executed = sim.run_batch(config, rng, budget);
+            EXPECT_EQ(executed, budget) << "budget " << budget << " round " << round;
+            total += executed;
+            if (config[t0] != 2) break;  // a token merged or was absorbed
+        }
+        EXPECT_EQ(total % budget, 0u);
+    }
+}
+
+TEST(RunBatch, PairWeightsSurvivePopulationsBeyond2To31) {
+    // Regression for the ROADMAP-flagged overflow: with n > 2³¹ agents the
+    // ordered-pair weight n(n−1) exceeds int64; the engine now tracks pair
+    // weights in 128-bit arithmetic instead of falling back to (or
+    // corrupting) per-encounter stepping.
+    const Protocol p = protocols::collector_threshold(1);  // x,x -> T,T; x,T -> T,T
+    const Simulator sim(p);
+    const StateId x = p.input_state(0);
+    const auto top = p.find_state("T");
+    ASSERT_TRUE(top.has_value());
+    const AgentCount population = (AgentCount{1} << 32) + 3;
+
+    // Dense boundary case: every pair among the x agents is active, so the
+    // total weight itself passes int64 and every interaction fires.
+    Config config = Config::single(p.num_states(), x, population);
+    Rng rng(5);
+    EXPECT_EQ(sim.run_batch(config, rng, 1'000), 1'000u);
+    EXPECT_EQ(config.size(), population);
+    EXPECT_GT(config[*top], 0);
+    EXPECT_EQ(config[x] + config[*top], population);
+
+    // Sparse boundary case: two stragglers in a sea of accepted agents —
+    // the geometric skip must cover the whole budget without overflowing.
+    Config sparse(p.num_states());
+    sparse.set(x, 2);
+    sparse.set(*top, AgentCount{1} << 32);
+    Rng rng2(6);
+    const std::uint64_t executed = sim.run_batch(sparse, rng2, 10'000);
+    EXPECT_EQ(executed, 10'000u);
+    EXPECT_EQ(sparse.size(), (AgentCount{1} << 32) + 2);
 }
 
 TEST(BatchedRun, InteractionCountDistributionMatchesPerStepReference) {
@@ -169,6 +241,25 @@ TEST(ParallelSweep, ProducesIdenticalRowsToSerialSweep) {
         EXPECT_EQ(s.max_parallel_time, q.max_parallel_time);
         EXPECT_EQ(s.correct_fraction, q.correct_fraction);
     }
+}
+
+TEST(ParallelSweep, ZeroTrialsAndEmptyPopulationsReturnCleanly) {
+    const Protocol p = protocols::collector_threshold(4);
+    const auto expected = [](AgentCount i) { return i >= 4 ? 1 : 0; };
+
+    ConvergenceSweepOptions no_trials;
+    no_trials.runs_per_size = 0;
+    const auto rows = convergence_sweep(p, {8, 16}, expected, no_trials);
+    ASSERT_EQ(rows.size(), 2u);
+    for (const ConvergenceRow& row : rows) {
+        EXPECT_EQ(row.runs, 0u);
+        EXPECT_EQ(row.converged_runs, 0u);
+        EXPECT_EQ(row.mean_parallel_time, 0.0);
+        EXPECT_EQ(row.correct_fraction, 0.0);
+    }
+
+    ConvergenceSweepOptions defaults;
+    EXPECT_TRUE(convergence_sweep(p, {}, expected, defaults).empty());
 }
 
 TEST(ParallelSweep, DefaultParallelismMatchesSerial) {

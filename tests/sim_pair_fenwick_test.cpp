@@ -1,0 +1,156 @@
+// Tests for the pair-weight Fenwick tree behind fired-step pair selection:
+// per-seed equivalence with the reference O(#pairs) cumulative scan
+// (PairSelect::scan), an exhaustive small-protocol sweep mirroring
+// support_fenwick_test, and a chi-squared goodness-of-fit check of the
+// fired-pair distribution against the exact conditional law w_pair / W.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "protocols/double_exp_threshold.hpp"
+#include "protocols/threshold.hpp"
+#include "sim/simulator.hpp"
+
+namespace ppsc {
+namespace {
+
+// A protocol whose 5 "live" states interact on every pair (each pair has a
+// unique rule, so the fired transition identifies the selected pair) and
+// whose sink z is silent with everything — padding with z agents drives the
+// configuration into the sparse regime where fired-step pair selection runs.
+Protocol all_pairs_probe() {
+    ProtocolBuilder b;
+    std::vector<StateId> s(5);
+    for (int i = 0; i < 5; ++i) s[static_cast<std::size_t>(i)] = b.add_state("s" + std::to_string(i), 0);
+    const StateId z = b.add_state("z", 1);
+    b.set_input("x", s[0]);
+    for (int i = 0; i < 5; ++i) {
+        for (int j = i; j < 5; ++j) {
+            b.add_transition(s[static_cast<std::size_t>(i)], s[static_cast<std::size_t>(j)], z, z);
+        }
+    }
+    return std::move(b).build();
+}
+
+TEST(PairWeightFenwick, FiredPairDistributionPassesChiSquared) {
+    // The pair fired by a non-silent encounter must follow the conditional
+    // law P(pair) = w_pair / W with w = c(c−1) for self pairs and 2·c_p·c_q
+    // otherwise, independently of the silent-skip machinery around it.
+    const Protocol protocol = all_pairs_probe();
+    const Simulator simulator(protocol);
+    Config base(protocol.num_states());
+    const std::vector<AgentCount> live = {6, 3, 9, 2, 5};
+    for (std::size_t q = 0; q < live.size(); ++q) base.set(static_cast<StateId>(q), live[q]);
+    base.set(*protocol.find_state("z"), 200);  // sparse: W/n(n−1) ≈ 0.012
+
+    // w over the live pairs; every fired transition is (s_i, s_j) -> (z, z),
+    // so the pre-pair of the fired transition identifies the selection.
+    double total_weight = 0.0;
+    std::map<std::pair<StateId, StateId>, double> weight;
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        for (std::size_t j = i; j < live.size(); ++j) {
+            const double w = i == j ? static_cast<double>(live[i]) * (static_cast<double>(live[i]) - 1)
+                                    : 2.0 * static_cast<double>(live[i]) * static_cast<double>(live[j]);
+            weight[{static_cast<StateId>(i), static_cast<StateId>(j)}] = w;
+            total_weight += w;
+        }
+    }
+
+    const int samples = 20'000;
+    std::map<std::pair<StateId, StateId>, int> observed;
+    Rng rng(314159);
+    for (int trial = 0; trial < samples; ++trial) {
+        Config config = base;
+        const auto fired = simulator.fired_step(config, rng, std::uint64_t{1} << 40);
+        ASSERT_TRUE(fired.has_value());
+        const Transition& t = protocol.transitions()[static_cast<std::size_t>(*fired)];
+        ++observed[{t.pre1, t.pre2}];
+    }
+
+    double chi2 = 0.0;
+    int cells = 0;
+    for (const auto& [pair, w] : weight) {
+        const double expected = w / total_weight * samples;
+        ASSERT_GT(expected, 5.0);  // chi-squared validity
+        const double diff = observed[pair] - expected;
+        chi2 += diff * diff / expected;
+        ++cells;
+    }
+    // 15 pair cells → 14 degrees of freedom; the 99.9th percentile of
+    // χ²(14) is ≈ 36.1.  The seed is fixed, so the test is deterministic.
+    EXPECT_EQ(cells, 15);
+    EXPECT_LT(chi2, 36.1) << "fired-pair distribution deviates from w/W";
+}
+
+TEST(PairWeightFenwick, TrajectoriesMatchTheReferenceScanPerSeed) {
+    // Fenwick selection and the cumulative scan resolve the same rank draw
+    // over the same weights in the same order, so whole run_batch
+    // trajectories must be identical per seed — not just in distribution.
+    const Protocol protocol = protocols::double_exp_threshold_dense(3);  // eta = 255
+    const Simulator fenwick(protocol, PairSelect::fenwick);
+    const Simulator scan(protocol, PairSelect::scan);
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        Config a = protocol.initial_config(300);  // above threshold: rich dynamics
+        Config b = protocol.initial_config(300);
+        Rng rng_a(seed), rng_b(seed);
+        for (int chunk = 0; chunk < 40; ++chunk) {
+            const std::uint64_t done_a = fenwick.run_batch(a, rng_a, 500);
+            const std::uint64_t done_b = scan.run_batch(b, rng_b, 500);
+            ASSERT_EQ(done_a, done_b) << "seed " << seed << " chunk " << chunk;
+            ASSERT_TRUE(a == b) << "seed " << seed << " chunk " << chunk;
+            if (done_a < 500) break;  // silent
+        }
+    }
+}
+
+TEST(PairWeightFenwick, ExhaustiveSmallProtocolEquivalence) {
+    // Mirrors support_fenwick_test's exhaustive style: enumerate *every*
+    // configuration of up to 6 agents of the dense double-exponential
+    // protocol at n = 2 (eta = 15, 9 states) and check that fired_step
+    // under Fenwick selection and under the reference scan consume the
+    // stream identically — same fired transition, same interaction count,
+    // same successor configuration.
+    const Protocol protocol = protocols::double_exp_threshold_dense(2);
+    const std::size_t num_states = protocol.num_states();
+    ASSERT_EQ(num_states, 9u);
+    const Simulator fenwick(protocol, PairSelect::fenwick);
+    const Simulator scan(protocol, PairSelect::scan);
+
+    std::vector<AgentCount> counts(num_states, 0);
+    std::uint64_t seed = 0;
+    std::size_t checked = 0;
+    const std::function<void(std::size_t, AgentCount)> enumerate = [&](std::size_t q,
+                                                                       AgentCount left) {
+        if (q + 1 == num_states) {
+            counts[q] = left;
+            const Config base = Config::from_counts(counts);
+            if (base.size() >= 2) {
+                Config a = base, b = base;
+                Rng rng_a(++seed), rng_b(seed);
+                std::uint64_t consumed_a = 0, consumed_b = 0;
+                const auto fired_a = fenwick.fired_step(a, rng_a, 64, &consumed_a);
+                const auto fired_b = scan.fired_step(b, rng_b, 64, &consumed_b);
+                ASSERT_EQ(fired_a, fired_b) << base.to_string(protocol.state_names());
+                ASSERT_EQ(consumed_a, consumed_b) << base.to_string(protocol.state_names());
+                ASSERT_TRUE(a == b) << base.to_string(protocol.state_names());
+                ++checked;
+            }
+            counts[q] = 0;
+            return;
+        }
+        for (AgentCount c = 0; c <= left; ++c) {
+            counts[q] = c;
+            enumerate(q + 1, left - c);
+        }
+        counts[q] = 0;
+    };
+    for (AgentCount population = 2; population <= 6; ++population) enumerate(0, population);
+    EXPECT_EQ(checked, 4'995u);  // Σ_{m=2..6} C(m+8, 8) — genuinely exhaustive
+}
+
+}  // namespace
+}  // namespace ppsc

@@ -80,6 +80,74 @@ TEST(FenwickTree, SingleElementAndEmpty) {
     EXPECT_EQ(empty.total(), 0);
 }
 
+TEST(FenwickTree, ConstructionOverEmptyCountVectorIsClean) {
+    // Degenerate input: assign over an empty span must yield a working
+    // empty tree (and shrink a previously non-empty one), with every
+    // non-sampling operation well-defined.
+    const std::vector<std::int64_t> weights = {4, 2};
+    FenwickTree tree{std::span<const std::int64_t>(weights)};
+    EXPECT_EQ(tree.total(), 6);
+    tree.assign(std::span<const std::int64_t>{});
+    EXPECT_EQ(tree.size(), 0u);
+    EXPECT_EQ(tree.total(), 0);
+    EXPECT_EQ(tree.prefix_sum(0), 0);
+
+    const FenwickTree128 empty128{std::span<const Int128>{}};
+    EXPECT_EQ(empty128.size(), 0u);
+    EXPECT_TRUE(empty128.total() == 0);
+}
+
+TEST(FenwickTree128, CarriesWeightsBeyondInt64) {
+    // The pair-weight instantiation: ordered pair weights 2·c_p·c_q pass
+    // int64 once populations pass 2³¹ agents.  Exercise sums, updates and
+    // sampling with weights around 2^80.
+    const Int128 big = Int128{1} << 80;
+    const std::vector<Int128> weights = {big, 0, 3 * big, big / 2};
+    FenwickTree128 tree{std::span<const Int128>(weights)};
+    EXPECT_TRUE(tree.total() == big + 3 * big + big / 2);
+    EXPECT_TRUE(tree.value(2) == 3 * big);
+    EXPECT_EQ(tree.sample(0), 0u);
+    EXPECT_EQ(tree.sample(big), 2u);            // first rank past slot 0
+    EXPECT_EQ(tree.sample(4 * big), 3u);        // into the last slot
+    tree.add(1, big);
+    EXPECT_TRUE(tree.prefix_sum(2) == 2 * big);
+    EXPECT_EQ(tree.sample(big + 1), 1u);
+    // Exhaustive CDF inversion at coarse ranks, mirroring the int64 test.
+    std::size_t expected_slot = 0;
+    Int128 cumulative = 0;
+    for (std::size_t q = 0; q < weights.size(); ++q) {
+        const Int128 w = tree.value(q);
+        if (w == 0) continue;
+        EXPECT_EQ(tree.sample(cumulative), q);
+        EXPECT_EQ(tree.sample(cumulative + w - 1), q);
+        cumulative += w;
+        expected_slot = q;
+    }
+    EXPECT_EQ(expected_slot, 3u);
+    EXPECT_TRUE(cumulative == tree.total());
+}
+
+TEST(Rng, Below128DelegatesToBelowInWordRangeAndHonoursWideBounds) {
+    // In-word bounds must consume the stream exactly like below(), so the
+    // widened pair-weight draw leaves all ≤ 2³¹-population trajectories
+    // bit-identical.
+    Rng narrow(42), wide(42);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t bound = 1 + (i * 7919u);
+        EXPECT_EQ(static_cast<std::uint64_t>(wide.below128(bound)), narrow.below(bound));
+    }
+    // Wide bounds: all draws in range, and the high 64 bits actually used.
+    const unsigned __int128 bound = (static_cast<unsigned __int128>(1) << 70) + 12345;
+    Rng rng(7);
+    bool saw_high_bits = false;
+    for (int i = 0; i < 500; ++i) {
+        const unsigned __int128 v = rng.below128(bound);
+        ASSERT_TRUE(v < bound);
+        saw_high_bits = saw_high_bits || (v >> 64) != 0;
+    }
+    EXPECT_TRUE(saw_high_bits);
+}
+
 // The linear-scan rank→state mapping the simulator used before the Fenwick
 // sampler.  Used as the reference in the equivalence tests below.
 StateId scan_rank(const std::vector<AgentCount>& counts, AgentCount rank) {
