@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Runs the google-benchmark microbenchmarks and records the results as
 # BENCH_simulation.json at the repository root — the repo's perf
-# trajectory.  The JSON includes the E11 rows (BM_E11MergePhase and the
-# BM_E11FiredStep{Fenwick,Scan} pair-selection comparison on the
-# double-exponential threshold workload).  Re-run after any change to the
-# simulation hot path and commit the refreshed JSON alongside the change.
+# trajectory.  The JSON includes the E11 rows (BM_E11MergePhase, the
+# BM_E11FiredStep{Fenwick,Scan} pair-selection comparison, and the
+# sparse-rule-table rows BM_E11FiredStepFlagship/BM_E11SparseMergePhase
+# on the double-exponential threshold workload).  Re-run after any change
+# to the simulation hot path and commit the refreshed JSON alongside the
+# change.
 #
 # Usage:  bench/run_benchmarks.sh [output.json]
 # Env:    BUILD_DIR (default: build)   — CMake build directory

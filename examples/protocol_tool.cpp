@@ -6,6 +6,7 @@
 //   $ ./protocol_tool dot       <file.pp>
 //   $ ./protocol_tool family    <name> [params]  (prints a built-in family)
 //   $ ./protocol_tool demo                       (prints a sample file)
+//   $ ./protocol_tool help                       (full usage, all families)
 //
 // The text format is documented in src/core/protocol_parser.hpp; `demo`
 // emits a ready-to-use threshold-3 protocol, so
@@ -13,8 +14,9 @@
 //   $ ./protocol_tool demo > t3.pp
 //   $ ./protocol_tool verify t3.pp 3
 //
-// is a complete round trip.  `family` does the same for every protocol
-// family in src/protocols/, e.g.
+// is a complete round trip.  `family` does the same for every registered
+// protocol family (see src/protocols/families.hpp — `help` lists them all
+// with their parameter ranges), e.g.
 //
 //   $ ./protocol_tool family double_exp 2 > d2.pp
 //   $ ./protocol_tool verify d2.pp 16
@@ -22,13 +24,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/protocol_parser.hpp"
-#include "protocols/double_exp_threshold.hpp"
-#include "protocols/leader.hpp"
-#include "protocols/majority.hpp"
-#include "protocols/threshold.hpp"
+#include "protocols/families.hpp"
 #include "sim/simulator.hpp"
 #include "verify/verifier.hpp"
 
@@ -50,42 +51,21 @@ trans T v1 -> T T
 trans T v2 -> T T
 )";
 
-// Builds a named family instance: the registration point that makes every
-// family in src/protocols/ reachable from the text format (and from there
-// the whole tool surface: info/verify/simulate/dot).
-Protocol build_family(int argc, char** argv) {
-    const std::string_view name = argv[2];
-    const auto int_arg = [&](int index) -> long long {
-        if (argc <= index) {
-            std::fprintf(stderr, "family %s: missing parameter\n", argv[2]);
-            std::exit(1);
-        }
-        return std::strtoll(argv[index], nullptr, 10);
-    };
-    if (name == "unary") return protocols::unary_threshold(int_arg(3));
-    if (name == "binary") return protocols::binary_threshold_power(static_cast<int>(int_arg(3)));
-    if (name == "collector") return protocols::collector_threshold(int_arg(3));
-    if (name == "majority") return protocols::majority();
-    if (name == "leader") return protocols::leader_threshold(int_arg(3));
-    if (name == "cascade")
-        return protocols::leader_counter_cascade(static_cast<int>(int_arg(3)),
-                                                 static_cast<int>(int_arg(4)));
-    if (name == "double_exp") return protocols::double_exp_threshold(static_cast<int>(int_arg(3)));
-    if (name == "double_exp_dense")
-        return protocols::double_exp_threshold_dense(static_cast<int>(int_arg(3)));
-    if (name == "succinct") {
-        if (argc <= 3) {
-            std::fprintf(stderr, "family succinct: missing <eta> (decimal)\n");
-            std::exit(1);
-        }
-        return protocols::succinct_threshold(BigNat::from_decimal(argv[3]));
-    }
-    std::fprintf(stderr,
-                 "unknown family '%s'; known: unary <eta>, binary <k>, collector <eta>,\n"
-                 "majority, leader <eta>, cascade <base> <digits>, double_exp <n>,\n"
-                 "double_exp_dense <n>, succinct <eta>\n",
-                 argv[2]);
-    std::exit(1);
+void print_usage(const char* argv0, std::FILE* out) {
+    std::fprintf(out,
+                 "usage: %s <command> [args]\n"
+                 "\n"
+                 "commands:\n"
+                 "  info     <file.pp>                     print states/inputs/transitions\n"
+                 "  verify   <file.pp> <eta> [max_input]   exhaustively check x >= eta\n"
+                 "  simulate <file.pp> <population> [seed] one randomized run from IC\n"
+                 "  dot      <file.pp>                     GraphViz rendering\n"
+                 "  family   <name> [params]               print a built-in family as .pp\n"
+                 "  demo                                   print a sample .pp file\n"
+                 "  help                                   this message\n"
+                 "\n"
+                 "families (every registered family; parameters and ranges):\n%s",
+                 argv0, protocols::family_usage().c_str());
 }
 
 Protocol load(const char* path) {
@@ -106,17 +86,22 @@ int main(int argc, char** argv) {
         std::fputs(kDemo, stdout);
         return 0;
     }
+    if (argc >= 2 && (std::string_view(argv[1]) == "help" ||
+                      std::string_view(argv[1]) == "--help" ||
+                      std::string_view(argv[1]) == "-h")) {
+        print_usage(argv[0], stdout);
+        return 0;
+    }
     if (argc < 3) {
-        std::fprintf(stderr,
-                     "usage: %s info|verify|simulate|dot <file.pp> [args]; "
-                     "%s family <name> [params]; or %s demo\n",
-                     argv[0], argv[0], argv[0]);
+        print_usage(argv[0], stderr);
         return 1;
     }
     const std::string_view command = argv[1];
     try {
         if (command == "family") {
-            std::fputs(format_protocol(build_family(argc, argv)).c_str(), stdout);
+            const std::vector<std::string> params(argv + 3, argv + argc);
+            std::fputs(format_protocol(protocols::build_family(argv[2], params)).c_str(),
+                       stdout);
             return 0;
         }
         const Protocol protocol = load(argv[2]);
@@ -162,7 +147,7 @@ int main(int argc, char** argv) {
             std::printf("final: %s\n",
                         result.final_config.to_string(protocol.state_names()).c_str());
         } else {
-            std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
+            std::fprintf(stderr, "unknown command '%s'; see '%s help'\n", argv[1], argv[0]);
             return 1;
         }
     } catch (const std::exception& e) {

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Checks that every relative Markdown link in the repo's documentation
+# resolves to an existing file or directory.  External (http/https/mailto)
+# links and pure in-page anchors are skipped; a `path#anchor` link is
+# checked for the path part only.
+#
+# Usage: scripts/check_markdown_links.sh [file.md ...]
+#        (defaults to every tracked/visible .md outside build dirs)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+    while IFS= read -r f; do files+=("$f"); done < <(
+        find . -name '*.md' -not -path './build*' -not -path './.git/*' | sort)
+fi
+
+failures=0
+for file in "${files[@]}"; do
+    dir=$(dirname "$file")
+    # Inline links [text](target); tolerate several per line.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [[ -z "$path" ]] && continue
+        if [[ ! -e "$dir/$path" ]]; then
+            echo "BROKEN: $file -> $target"
+            failures=$((failures + 1))
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [[ $failures -gt 0 ]]; then
+    echo "$failures broken link(s)"
+    exit 1
+fi
+echo "all markdown links resolve (${#files[@]} files checked)"

@@ -24,6 +24,45 @@ std::size_t Protocol::pair_index(StateId p, StateId q) noexcept {
            static_cast<std::size_t>(p);
 }
 
+void Protocol::build_pair_lookup(RuleTable kind) {
+    const std::size_t n = names_.size();
+    const std::size_t num_pairs = n * (n + 1) / 2;
+    if (kind == RuleTable::automatic)
+        kind = num_pairs <= kDenseRuleTablePairCap ? RuleTable::dense : RuleTable::sparse;
+    rule_table_ = kind;
+    if (kind == RuleTable::dense) {
+        sparse_pair_to_id_ = DenseIndexMap();
+        dense_pair_to_id_.assign(num_pairs, kNoPair);
+        for (std::size_t i = 0; i < nonsilent_pairs_.size(); ++i) {
+            const auto [p, q] = nonsilent_pairs_[i];
+            dense_pair_to_id_[pair_index(p, q)] = static_cast<PairId>(i);
+        }
+    } else {
+        dense_pair_to_id_.clear();
+        dense_pair_to_id_.shrink_to_fit();
+        std::vector<std::uint64_t> keys;
+        keys.reserve(nonsilent_pairs_.size());
+        for (const auto& [p, q] : nonsilent_pairs_) keys.push_back(pack_pair(p, q));
+        sparse_pair_to_id_.assign(keys);
+    }
+}
+
+std::size_t Protocol::rule_table_bytes() const noexcept {
+    const std::size_t shared = rule_offsets_.capacity() * sizeof(std::uint32_t) +
+                               pair_rule_ids_.capacity() * sizeof(TransitionId) +
+                               nonsilent_pairs_.capacity() * sizeof(nonsilent_pairs_[0]);
+    const std::size_t lookup = rule_table_ == RuleTable::dense
+                                   ? dense_pair_to_id_.capacity() * sizeof(PairId)
+                                   : sparse_pair_to_id_.memory_bytes();
+    return shared + lookup;
+}
+
+Protocol Protocol::with_rule_table(RuleTable kind) const {
+    Protocol copy = *this;
+    copy.build_pair_lookup(kind);
+    return copy;
+}
+
 std::optional<StateId> Protocol::find_state(std::string_view name) const {
     auto it = name_to_state_.find(std::string(name));
     if (it == name_to_state_.end()) return std::nullopt;
@@ -225,55 +264,54 @@ Protocol ProtocolBuilder::build() && {
     for (const auto& [state, count] : leaders_) leaders.add(state, count);
     p.leaders_ = std::move(leaders);
 
-    // Build the CSR rule table: count rules per pair, prefix-sum into
-    // offsets, then fill.  TransitionIds stay ordered within a pair (fill
-    // order follows transition order), matching the old nested layout.
-    const std::size_t n = p.names_.size();
-    const std::size_t num_pairs = n * (n + 1) / 2;
-    p.pair_offsets_.assign(num_pairs + 1, 0);
-    for (const Transition& t : p.transitions_)
-        ++p.pair_offsets_[Protocol::pair_index(t.pre1, t.pre2) + 1];
-    for (std::size_t i = 1; i <= num_pairs; ++i)
-        p.pair_offsets_[i] += p.pair_offsets_[i - 1];
-    p.pair_rule_ids_.resize(p.transitions_.size());
-    std::vector<std::uint32_t> cursor(p.pair_offsets_.begin(), p.pair_offsets_.end() - 1);
-    for (std::size_t i = 0; i < p.transitions_.size(); ++i) {
-        const Transition& t = p.transitions_[i];
-        p.pair_rule_ids_[cursor[Protocol::pair_index(t.pre1, t.pre2)]++] =
-            static_cast<TransitionId>(i);
-    }
-    p.pair_silent_bits_.assign((num_pairs + 63) / 64, 0);
-    for (std::size_t i = 0; i < num_pairs; ++i) {
-        if (p.pair_offsets_[i] == p.pair_offsets_[i + 1])
-            p.pair_silent_bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
-    }
-
     // Sparse non-silent pair structure: the deduped pre-pairs as a flat
-    // list (PairId = list index), the self-pair ids, and the CSR adjacency
-    // of the non-self "has a non-silent rule with" relation.  Simulators use
-    // this as the per-pair weight-delta table for incremental pair-weight
-    // maintenance.
+    // list in first-seen transition order (PairId = list index — the order
+    // every downstream consumer, and therefore every trajectory, depends
+    // on), the self-pair ids, and the CSR adjacency of the non-self "has a
+    // non-silent rule with" relation.  Simulators use the adjacency as the
+    // per-pair weight-delta table for incremental pair-weight maintenance.
+    const std::size_t n = p.names_.size();
     p.self_pair_.assign(n, Protocol::kNoPair);
     std::vector<std::uint32_t> degree(n, 0);
-    {
-        std::unordered_set<std::uint64_t> seen_pairs;
-        seen_pairs.reserve(p.transitions_.size());
-        for (const Transition& t : p.transitions_) {
-            const StateId q1 = t.pre1, q2 = t.pre2;  // canonical: q1 ≤ q2
-            const std::uint64_t key =
-                (static_cast<std::uint64_t>(static_cast<std::uint32_t>(q1)) << 32) |
-                static_cast<std::uint32_t>(q2);
-            if (!seen_pairs.insert(key).second) continue;
-            const auto id = static_cast<Protocol::PairId>(p.nonsilent_pairs_.size());
-            p.nonsilent_pairs_.emplace_back(q1, q2);
-            if (q1 == q2) {
-                p.self_pair_[static_cast<std::size_t>(q1)] = id;
-            } else {
-                ++degree[static_cast<std::size_t>(q1)];
-                ++degree[static_cast<std::size_t>(q2)];
-            }
+    // Build-time only: pre-pair key → PairId (the persistent lookup is
+    // built by build_pair_lookup in the chosen representation below).
+    std::unordered_map<std::uint64_t, Protocol::PairId> pair_of;
+    pair_of.reserve(p.transitions_.size());
+    for (const Transition& t : p.transitions_) {
+        const StateId q1 = t.pre1, q2 = t.pre2;  // canonical: q1 ≤ q2
+        const auto [it, inserted] = pair_of.try_emplace(
+            Protocol::pack_pair(q1, q2),
+            static_cast<Protocol::PairId>(p.nonsilent_pairs_.size()));
+        if (!inserted) continue;
+        p.nonsilent_pairs_.emplace_back(q1, q2);
+        if (q1 == q2) {
+            p.self_pair_[static_cast<std::size_t>(q1)] = it->second;
+        } else {
+            ++degree[static_cast<std::size_t>(q1)];
+            ++degree[static_cast<std::size_t>(q2)];
         }
     }
+
+    // Compact CSR rule table keyed by PairId: count rules per pair,
+    // prefix-sum into offsets, then fill.  TransitionIds stay ordered
+    // within a pair (fill order follows transition order), matching the
+    // retired triangular layout rule for rule.
+    const std::size_t num_pairs = p.nonsilent_pairs_.size();
+    p.rule_offsets_.assign(num_pairs + 1, 0);
+    for (const Transition& t : p.transitions_)
+        ++p.rule_offsets_[pair_of.at(Protocol::pack_pair(t.pre1, t.pre2)) + 1];
+    for (std::size_t i = 1; i <= num_pairs; ++i)
+        p.rule_offsets_[i] += p.rule_offsets_[i - 1];
+    p.pair_rule_ids_.resize(p.transitions_.size());
+    std::vector<std::uint32_t> cursor(p.rule_offsets_.begin(), p.rule_offsets_.end() - 1);
+    for (std::size_t i = 0; i < p.transitions_.size(); ++i) {
+        const Transition& t = p.transitions_[i];
+        p.pair_rule_ids_[cursor[pair_of.at(Protocol::pack_pair(t.pre1, t.pre2))]++] =
+            static_cast<TransitionId>(i);
+    }
+
+    p.build_pair_lookup(rule_table_);
+
     p.neighbor_offsets_.assign(n + 1, 0);
     for (std::size_t q = 0; q < n; ++q)
         p.neighbor_offsets_[q + 1] = p.neighbor_offsets_[q] + degree[q];

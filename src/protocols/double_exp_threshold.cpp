@@ -159,14 +159,14 @@ Protocol succinct_threshold(const BigNat& eta) {
 }
 
 BigNat double_exp_eta(int n) {
-    if (n < 0 || n > 13)
-        throw std::invalid_argument("double_exp_eta: n must be in [0, 13]");
+    if (n < 0 || n > 17)
+        throw std::invalid_argument("double_exp_eta: n must be in [0, 17]");
     return BigNat::power_of_two(std::uint64_t{1} << n);
 }
 
 Protocol double_exp_threshold(int n) {
-    if (n < 0 || n > 13)
-        throw std::invalid_argument("double_exp_threshold: n must be in [0, 13]");
+    if (n < 0 || n > 17)
+        throw std::invalid_argument("double_exp_threshold: n must be in [0, 17]");
     return succinct_threshold(double_exp_eta(n));
 }
 

@@ -28,9 +28,14 @@
 
 namespace ppsc::protocols {
 
-/// Hard cap on η's binary size: beyond ~8k bits the protocol's dense
-/// triangular rule table alone passes a gigabyte.
-inline constexpr std::uint64_t kSuccinctThresholdMaxBits = 8193;
+/// Hard cap on η's binary size.  The sparse rule table (RuleTable::sparse,
+/// picked automatically past ~4k states) removed the Θ(|Q|²) memory wall
+/// that used to cap this at ~8k bits; what remains is construction cost —
+/// the builder emits Θ(k · #collectors) transitions, which for bit-dense η
+/// is quadratic in the bit length.  2¹⁷ + 1 bits admits the flagship
+/// double_exp_threshold(17) with |Q| = 2¹⁷ + 3 > 10⁵ states (exact powers
+/// have no collectors, so those build in Θ(|Q|) transitions).
+inline constexpr std::uint64_t kSuccinctThresholdMaxBits = (std::uint64_t{1} << 17) + 1;
 
 /// Leaderless threshold protocol for arbitrary-precision η ≥ 1 with
 /// Θ(log η) states (tokens t_0..t_k of value 2^i, collectors per set bit,
@@ -46,13 +51,15 @@ std::size_t succinct_threshold_states(const BigNat& eta);
 BigNat double_exp_eta(int n);
 
 /// Decides x ≥ 2^(2^n) with 2^n + 3 states (the token chain reaches level
-/// 2^n; any level-2^n token witnesses the threshold).  Throws
-/// std::invalid_argument unless 0 ≤ n ≤ 13.
+/// 2^n; any level-2^n token witnesses the threshold).  Builds in Θ(2^n)
+/// transitions, so the sparse rule table carries it to n = 17
+/// (|Q| = 131075).  Throws std::invalid_argument unless 0 ≤ n ≤ 17.
 Protocol double_exp_threshold(int n);
 
 /// Decides x ≥ 2^(2^n) − 1, the all-bits-set threshold: every bit of η
 /// spawns a collector, giving ~2^(n+1) states and Θ(4^n) non-silent pairs —
-/// the many-pair stress case for fired-step sampling.  Throws
+/// the many-pair stress case for fired-step sampling.  The Θ(4^n)
+/// *construction* keeps this variant capped below the flagship: throws
 /// std::invalid_argument unless 1 ≤ n ≤ 13.
 Protocol double_exp_threshold_dense(int n);
 

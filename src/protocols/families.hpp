@@ -1,0 +1,44 @@
+// Registry of the named protocol families.
+//
+// One table drives everything that needs "all families by name": the
+// `protocol_tool family` / `protocol_tool help` surface, its error
+// messages, and the parser round-trip tests — so a family added here is
+// automatically listed, buildable from the command line, and covered by
+// the round-trip suite.  Adding a family to src/protocols/ without
+// registering it here is the bug this file exists to prevent.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/protocol.hpp"
+
+namespace ppsc::protocols {
+
+/// One registered family: the registry name, its parameter list with the
+/// accepted ranges, a one-line summary, and example parameters cheap
+/// enough for tests and documentation to build.
+struct ProtocolFamily {
+    const char* name;          ///< registry name, e.g. "double_exp"
+    int arity;                 ///< number of parameters build_family expects
+    const char* params;        ///< parameter list for display, e.g. "<n>"
+    const char* range;         ///< accepted ranges, e.g. "0 <= n <= 17"
+    const char* summary;       ///< one-line description
+    const char* example_args;  ///< space-separated cheap example, e.g. "2"
+};
+
+/// All registered families, in stable (documentation) order.
+std::span<const ProtocolFamily> protocol_families();
+
+/// Builds the family `name` from string parameters (as they arrive from a
+/// command line).  Throws std::invalid_argument on an unknown name, a
+/// missing/extra/non-numeric parameter, or a parameter outside the
+/// family's documented range.
+Protocol build_family(std::string_view name, std::span<const std::string> args);
+
+/// Multi-line usage text: one line per family with parameters, ranges, and
+/// summary (the body of `protocol_tool help`).
+std::string family_usage();
+
+}  // namespace ppsc::protocols

@@ -57,6 +57,8 @@ struct ThroughputRow {
     std::string protocol;             ///< family instance, e.g. "double_exp(8)"
     std::size_t num_states = 0;
     std::size_t nonsilent_pairs = 0;
+    std::string rule_table;           ///< "dense" or "sparse" (resolved kind)
+    std::size_t rule_table_bytes = 0; ///< Protocol::rule_table_bytes()
     AgentCount population = 0;
     std::uint64_t interactions = 0;   ///< interactions executed for the row
     double seconds = 0.0;             ///< wall-clock time for the row
@@ -65,18 +67,27 @@ struct ThroughputRow {
 
 struct E11Options {
     /// Tower parameters n: each contributes double_exp_threshold(n)
-    /// (η = 2^(2^n), |Q| = 2^n + 3) and, when include_dense is set,
-    /// double_exp_threshold_dense(n) (η = 2^(2^n) − 1, |Q| ≈ 2^(n+1) with
-    /// Θ(4^n) non-silent pairs).
+    /// (η = 2^(2^n), |Q| = 2^n + 3) and, when include_dense is set and
+    /// n ≤ max_dense_n, double_exp_threshold_dense(n) (η = 2^(2^n) − 1,
+    /// |Q| ≈ 2^(n+1) with Θ(4^n) non-silent pairs).
     std::vector<int> tower_ns = {6, 8, 10};
     std::vector<AgentCount> populations = {1 << 12, 1 << 16};
     std::uint64_t interactions_per_row = 1 << 22;
     std::uint64_t seed = 0xE11;
     bool include_dense = true;
+    /// Dense variants stop here: their Θ(4^n) construction is what makes
+    /// the flagship-only n ≥ 13 rows (sparse rule table, |Q| > 8000)
+    /// worth sweeping separately.
+    int max_dense_n = 10;
     /// Fired-step pair selection of the simulators driven by the sweep —
     /// sweeping both values benchmarks the pair-weight Fenwick against the
     /// reference scan on identical trajectories.
     PairSelect selection = PairSelect::fenwick;
+    /// Rule-table representation of the swept protocols: `automatic` (the
+    /// default) resolves per instance; forcing `sparse` runs every row —
+    /// small instances included — through the hash-table lookup, which is
+    /// how the CI smoke covers the sparse path end to end.
+    RuleTable rule_table = RuleTable::automatic;
 };
 
 std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options = {});

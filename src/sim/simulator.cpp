@@ -36,6 +36,10 @@ constexpr std::size_t kFenwickPairThreshold = 256;
 Simulator::Simulator(const Protocol& protocol, PairSelect pair_select)
     : protocol_(protocol), pair_select_(pair_select) {
     if (pair_select_ == PairSelect::automatic) {
+        // The heuristic is keyed on the PairId universe (#non-silent pairs),
+        // not on |Q|² — so it resolves identically under the dense and the
+        // sparse rule table, and a sparse-table protocol with |Q| ≥ 10⁵ but
+        // a handful of rule-bearing pairs still gets the cheaper scan.
         pair_select_ = protocol_.nonsilent_pairs().size() >= kFenwickPairThreshold
                            ? PairSelect::fenwick
                            : PairSelect::scan;
@@ -235,10 +239,10 @@ template <typename W>
 std::optional<TransitionId> Simulator::step_in_context(StepContextT<W>& ctx, Config& config,
                                                        Rng& rng) const {
     const auto [s1, s2] = sample_pair_in_agents(ctx.agents, rng);
-    const auto rules = protocol_.rules_for_pair(s1, s2);
-    if (rules.empty()) return std::nullopt;  // silent encounter
+    const Protocol::PairId pair = protocol_.pair_id(s1, s2);
+    if (pair == Protocol::kNoPair) return std::nullopt;  // silent encounter
 
-    const TransitionId chosen = choose_rule(rules, rng);
+    const TransitionId chosen = choose_rule(protocol_.rules_for_pair_id(pair), rng);
     fire_in_context(ctx, config, protocol_.transitions()[static_cast<std::size_t>(chosen)]);
     return chosen;
 }
@@ -264,9 +268,10 @@ std::optional<TransitionId> Simulator::advance(StepContextT<W>& ctx, Config& con
                 return std::nullopt;
             }
             const auto [s1, s2] = sample_pair_in_agents(ctx.agents, rng);
-            const auto rules = protocol_.rules_for_pair(s1, s2);
-            if (!rules.empty()) {
-                const TransitionId chosen = choose_rule(rules, rng);
+            const Protocol::PairId pair = protocol_.pair_id(s1, s2);
+            if (pair != Protocol::kNoPair) {
+                const TransitionId chosen =
+                    choose_rule(protocol_.rules_for_pair_id(pair), rng);
                 fire_in_context(ctx, config,
                                 protocol_.transitions()[static_cast<std::size_t>(chosen)]);
                 *consumed = silent_steps + 1;
@@ -318,8 +323,9 @@ std::optional<TransitionId> Simulator::advance(StepContextT<W>& ctx, Config& con
         PPSC_CHECK_MSG(chosen_pair != Protocol::kNoPair,
                        "active pair weight out of sync with counts");
     }
-    const auto [a, b] = protocol_.nonsilent_pairs()[chosen_pair];
-    const auto rules = protocol_.rules_for_pair(a, b);
+    // The PairId indexes the compact CSR directly — no pair lookup (dense
+    // array or sparse hash probe) on the fired-step path at all.
+    const auto rules = protocol_.rules_for_pair_id(chosen_pair);
     PPSC_DASSERT(!rules.empty());
     const TransitionId chosen = choose_rule(rules, rng);
     fire_in_context(ctx, config, protocol_.transitions()[static_cast<std::size_t>(chosen)]);

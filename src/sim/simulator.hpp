@@ -33,6 +33,12 @@
 //      O(deg) cost.  Protocols with only a handful of non-silent pairs
 //      stay on the (there faster) scan automatically.
 //
+// All encounter resolution goes through Protocol::pair_id — PairIds over
+// the non-silent pairs only — so the engine is agnostic to the protocol's
+// rule-table representation (dense triangular array vs. the sparse hash
+// table that unlocks |Q| ≥ 10⁵; see RuleTable in core/protocol.hpp) and
+// produces identical per-seed trajectories under either.
+//
 // Convergence detection.  True stabilisation ("no reachable configuration
 // changes the output") is undecidable to detect locally, so the simulator
 // uses two *sound* sufficient conditions:

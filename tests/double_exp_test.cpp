@@ -59,8 +59,9 @@ TEST(SuccinctThreshold, RejectsBadEta) {
         protocols::succinct_threshold(BigNat::power_of_two(protocols::kSuccinctThresholdMaxBits)),
         std::invalid_argument);
     EXPECT_THROW(protocols::double_exp_threshold(-1), std::invalid_argument);
-    EXPECT_THROW(protocols::double_exp_threshold(14), std::invalid_argument);
+    EXPECT_THROW(protocols::double_exp_threshold(18), std::invalid_argument);
     EXPECT_THROW(protocols::double_exp_threshold_dense(0), std::invalid_argument);
+    EXPECT_THROW(protocols::double_exp_threshold_dense(14), std::invalid_argument);
 }
 
 // --- The double-exponential instances ---------------------------------------

@@ -1,8 +1,15 @@
-// Tests for the protocol text format (parser + serialiser round trip).
+// Tests for the protocol text format (parser + serialiser round trip),
+// including the registered protocol families: every name the tool's help
+// lists must build from its example parameters and round-trip.
 #include "core/protocol_parser.hpp"
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "protocols/families.hpp"
 #include "protocols/threshold.hpp"
 #include "verify/verifier.hpp"
 
@@ -74,6 +81,38 @@ TEST(ProtocolParser, RejectsBrokenInputs) {
 
 TEST(ProtocolParser, EmptyFileFailsCleanly) {
     EXPECT_THROW(parse_protocol(""), std::invalid_argument);
+}
+
+TEST(ProtocolFamilies, EveryRegisteredFamilyBuildsAndRoundTrips) {
+    // The registry is the source of the tool's help text; each listed name
+    // must build from its documented example parameters, serialise, and
+    // reparse to a textually identical protocol.
+    ASSERT_FALSE(protocols::protocol_families().empty());
+    for (const protocols::ProtocolFamily& family : protocols::protocol_families()) {
+        std::vector<std::string> args;
+        std::istringstream example(family.example_args);
+        for (std::string token; example >> token;) args.push_back(token);
+        const Protocol built = protocols::build_family(family.name, args);
+        EXPECT_GE(built.num_states(), 2u) << family.name;
+        const std::string text = format_protocol(built);
+        const Protocol reparsed = parse_protocol(text);
+        EXPECT_EQ(format_protocol(reparsed), text) << family.name;
+        EXPECT_EQ(reparsed.num_states(), built.num_states()) << family.name;
+        EXPECT_EQ(reparsed.num_transitions(), built.num_transitions()) << family.name;
+    }
+}
+
+TEST(ProtocolFamilies, RejectsUnknownNamesAndBadArity) {
+    EXPECT_THROW(protocols::build_family("no_such_family", {}), std::invalid_argument);
+    EXPECT_THROW(protocols::build_family("double_exp", {}), std::invalid_argument);
+    const std::vector<std::string> two = {"1", "2"};
+    EXPECT_THROW(protocols::build_family("unary", two), std::invalid_argument);
+    const std::vector<std::string> junk = {"xyz"};
+    EXPECT_THROW(protocols::build_family("double_exp", junk), std::invalid_argument);
+    // The usage text behind `protocol_tool help` lists every family.
+    const std::string usage = protocols::family_usage();
+    for (const protocols::ProtocolFamily& family : protocols::protocol_families())
+        EXPECT_NE(usage.find(family.name), std::string::npos) << family.name;
 }
 
 }  // namespace
