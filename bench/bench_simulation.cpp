@@ -26,6 +26,7 @@
 #include "protocols/threshold.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
+#include "sim/traps.hpp"
 #include "verify/verifier.hpp"
 
 using namespace ppsc;
@@ -217,6 +218,89 @@ void BM_E11SparseMergePhase(benchmark::State& state) {
 }
 BENCHMARK(BM_E11SparseMergePhase)->Args({13, 1 << 14});
 
+// --- Stable-consensus detection ---------------------------------------------
+
+// Output-trap computation on the flagship tower: the worklist fixpoint
+// (O(|T| + evictions · deg), sim/traps.hpp) against the O(passes · |T|)
+// reference pass structure.  Eviction chains on this family advance one
+// token level per reference pass, so reference cost grows with |Q| · |T| —
+// n = 17 (|Q| = 131075) is benchmarked for the worklist only; the
+// reference needs tens of billions of transition checks there, which is
+// exactly the wall this family of benchmarks documents the removal of.
+void trap_compute_bench(benchmark::State& state, TrapCompute kind) {
+    const Protocol& protocol = e11_flagship_protocol(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        for (int b = 0; b < 2; ++b) {
+            const std::vector<bool> trap = compute_output_trap(protocol, b, kind);
+            benchmark::DoNotOptimize(trap);
+        }
+    }
+    state.SetLabel("|Q|=" + std::to_string(protocol.num_states()));
+}
+void BM_ComputeOutputTrapsWorklist(benchmark::State& state) {
+    trap_compute_bench(state, TrapCompute::worklist);
+}
+void BM_ComputeOutputTrapsReference(benchmark::State& state) {
+    trap_compute_bench(state, TrapCompute::reference);
+}
+BENCHMARK(BM_ComputeOutputTrapsWorklist)->Arg(10)->Arg(13)->Arg(17)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ComputeOutputTrapsReference)->Arg(10)->Arg(13)->Unit(benchmark::kMillisecond);
+
+// Stability probes on a wide-support flagship configuration (tokens spread
+// over every level).  `warm` probes the configuration the cached step
+// context owns — the O(1) counter read run()/run_batch() use after every
+// fired interaction; `cold` forces the cache miss and measures the
+// from-scratch probe (support scan + silence rescan) that every probe used
+// to pay.
+void stability_probe_bench(benchmark::State& state, bool warm) {
+    const Protocol& protocol = e11_flagship_protocol(13);
+    const Simulator simulator(protocol);
+    Config config(protocol.num_states());
+    const StateId t0 = protocol.input_state(0);
+    for (std::uint64_t level = 0; level < (1u << 13); level += 2)
+        config.add(t0 + static_cast<StateId>(level), 1);
+    Rng rng(5);
+    // A zero-budget batch adopts `config` into the sampler cache without
+    // executing an interaction.
+    simulator.run_batch(config, rng, 0);
+    const Config cold_copy = config;  // different object: never cached
+    const Config& probed = warm ? config : cold_copy;
+    for (auto _ : state) {
+        const bool stable = simulator.is_provably_stable(probed);
+        benchmark::DoNotOptimize(stable);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+void BM_StabilityProbeWarm(benchmark::State& state) { stability_probe_bench(state, true); }
+void BM_StabilityProbeCold(benchmark::State& state) { stability_probe_bench(state, false); }
+BENCHMARK(BM_StabilityProbeWarm);
+BENCHMARK(BM_StabilityProbeCold);
+
+// The acceptance row: Simulator construction (trap setup included) plus a
+// full convergence run on double_exp_threshold(17) — |Q| = 131075, sparse
+// rule table.  The sub-threshold population merges to ≤ 1 token per level
+// and the run must detect stability; with the reference trap fixpoint the
+// construction alone needed ~5·10¹⁰ transition checks, so this benchmark
+// was infeasible before the worklist.
+void BM_E11FlagshipConvergence(benchmark::State& state) {
+    const Protocol& protocol = e11_flagship_protocol(static_cast<int>(state.range(0)));
+    std::uint64_t seed = 17;
+    double trap_setup = 0.0;
+    for (auto _ : state) {
+        const Simulator simulator(protocol);
+        trap_setup = simulator.trap_setup_seconds();
+        Rng rng(seed++);
+        SimulationOptions options;
+        options.max_interactions = std::uint64_t{1} << 44;
+        const SimulationResult result = simulator.run(protocol.initial_config(1 << 12), rng, options);
+        if (!result.converged) state.SkipWithError("flagship run failed to converge");
+        benchmark::DoNotOptimize(result.interactions);
+    }
+    state.counters["trap_setup_s"] = trap_setup;
+    state.SetLabel("|Q|=" + std::to_string(protocol.num_states()));
+}
+BENCHMARK(BM_E11FlagshipConvergence)->Arg(17)->Unit(benchmark::kMillisecond);
+
 void BM_ExhaustiveVerification(benchmark::State& state) {
     const Protocol protocol = protocols::unary_threshold(3);
     const Verifier verifier(protocol);
@@ -283,6 +367,46 @@ int run_e11_smoke() {
         for (const ThroughputRow& row : rows)
             complete = complete && row.interactions == tiny.interactions_per_row;
         check(complete, label);
+    }
+    std::printf("E11 smoke: reference trap computation forced on every instance\n");
+    {
+        // Mirrors the forced-sparse leg below: the reference trap fixpoint
+        // must still build and drive the workload, and the worklist must
+        // produce identical traps and identical convergence rows.
+        const Protocol p = protocols::double_exp_threshold(3);
+        const Simulator worklist(p, PairSelect::automatic, TrapCompute::worklist);
+        const Simulator reference(p, PairSelect::automatic, TrapCompute::reference);
+        bool traps_identical = true;
+        for (int b = 0; b < 2; ++b)
+            traps_identical = traps_identical && worklist.output_trap(b) == reference.output_trap(b);
+        check(traps_identical, "worklist/reference trap sets identical");
+
+        ConvergenceSweepOptions options;
+        options.runs_per_size = 4;
+        options.trap_compute = TrapCompute::reference;
+        const auto ref_rows = convergence_sweep(
+            p, {200, 256, 300}, [](AgentCount i) { return i >= 256 ? 1 : 0; }, options);
+        options.trap_compute = TrapCompute::worklist;
+        const auto wl_rows = convergence_sweep(
+            p, {200, 256, 300}, [](AgentCount i) { return i >= 256 ? 1 : 0; }, options);
+        bool rows_identical = ref_rows.size() == wl_rows.size();
+        for (std::size_t i = 0; rows_identical && i < ref_rows.size(); ++i) {
+            rows_identical = ref_rows[i].converged_runs == wl_rows[i].converged_runs &&
+                             ref_rows[i].mean_parallel_time == wl_rows[i].mean_parallel_time &&
+                             ref_rows[i].correct_fraction == wl_rows[i].correct_fraction;
+        }
+        check(rows_identical, "reference-trap convergence rows identical to worklist");
+
+        E11Options tiny;
+        tiny.tower_ns = {4};
+        tiny.populations = {512};
+        tiny.interactions_per_row = 1 << 16;
+        tiny.trap_compute = TrapCompute::reference;
+        const auto rows = e11_throughput_sweep(tiny);
+        bool complete = !rows.empty();
+        for (const ThroughputRow& row : rows)
+            complete = complete && row.interactions == tiny.interactions_per_row;
+        check(complete, "forced-reference-trap rows complete");
     }
     std::printf("E11 smoke: sparse rule table forced on every instance\n");
     {
@@ -377,20 +501,21 @@ int main(int argc, char** argv) {
                 "more states.\n");
 
     std::printf("\n=== E11: double-exponential thresholds (Czerner 2022 regime) ===\n\n");
-    std::printf("%22s %8s %12s %7s %10s %10s %14s\n", "protocol", "|Q|", "pairs", "table",
-                "tbl KiB", "population", "interactions/s");
+    std::printf("%22s %8s %12s %7s %10s %12s %10s %14s\n", "protocol", "|Q|", "pairs", "table",
+                "tbl KiB", "trap setup s", "population", "interactions/s");
     E11Options e11;
-    // n = 13 (flagship only: |Q| = 8195) needs the sparse rule table — the
-    // dense triangular lookup for its 33.6M pair slots is what used to cap
-    // the sweep at n ≤ 10.
-    e11.tower_ns = {6, 8, 10, 13};
+    // n = 13 (flagship only: |Q| = 8195) needs the sparse rule table; n = 17
+    // (|Q| = 131075) additionally needs the worklist trap fixpoint — the
+    // reference pass structure costs ~5·10¹⁰ transition checks there, which
+    // is what used to make the sweep buildable but not runnable past n = 13.
+    e11.tower_ns = {6, 8, 10, 13, 17};
     e11.max_dense_n = 10;
     e11.populations = {1 << 12, 1 << 16};
     e11.interactions_per_row = 1 << 22;
     for (const ThroughputRow& row : e11_throughput_sweep(e11)) {
-        std::printf("%22s %8zu %12zu %7s %10.1f %10lld %14.3g\n", row.protocol.c_str(),
+        std::printf("%22s %8zu %12zu %7s %10.1f %12.4f %10lld %14.3g\n", row.protocol.c_str(),
                     row.num_states, row.nonsilent_pairs, row.rule_table.c_str(),
-                    static_cast<double>(row.rule_table_bytes) / 1024.0,
+                    static_cast<double>(row.rule_table_bytes) / 1024.0, row.trap_setup_seconds,
                     static_cast<long long>(row.population), row.interactions_per_sec);
     }
     std::printf("\nshape: |Q| grows geometrically with n while throughput stays within a\n"
@@ -398,6 +523,9 @@ int main(int argc, char** argv) {
                 "Fenwick tree (the BM_E11FiredStep* microbenchmarks above isolate the\n"
                 "selection step against the O(#pairs) reference scan).  Rule-table\n"
                 "memory switches from Θ(|Q|²) (dense) to Θ(#non-silent pairs) (sparse)\n"
-                "past ~4k states, which is what admits the n = 13 flagship rows.\n");
+                "past ~4k states, which is what admits the n = 13 flagship rows, and\n"
+                "trap setup stays O(|T|) via the worklist fixpoint (trap setup s\n"
+                "column; BM_ComputeOutputTraps* isolates it against the reference),\n"
+                "which is what admits the n = 17 rows.\n");
     return 0;
 }

@@ -2,18 +2,54 @@
 # Checks that every relative Markdown link in the repo's documentation
 # resolves to an existing file or directory.  External (http/https/mailto)
 # links and pure in-page anchors are skipped; a `path#anchor` link is
-# checked for the path part only.
+# checked for the path part only, and a titled link `[t](path "title")`
+# (or 'title') for the path before the title.
 #
 # Usage: scripts/check_markdown_links.sh [file.md ...]
 #        (defaults to every tracked/visible .md outside build dirs)
+#        scripts/check_markdown_links.sh --self-test
+#        (runs the checker against generated fixtures: titled links and
+#         anchors must pass, a broken target must fail — the docs CI job
+#         invokes this before the real check)
 set -euo pipefail
+
+self_test() {
+    local tmp
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    : > "$tmp/target.txt"
+    cat > "$tmp/good.md" <<'EOF'
+[plain](target.txt) and [titled](target.txt "a title") inline.
+[single-quoted title](target.txt 'another title')
+[anchored](target.txt#section) [titled anchor](target.txt#sec "t")
+[external](https://example.com "titled external") [in-page](#anchor)
+EOF
+    cat > "$tmp/bad.md" <<'EOF'
+[broken](missing.txt "the title must not hide the miss")
+EOF
+    if ! "$0" "$tmp/good.md" > /dev/null; then
+        echo "SELF-TEST FAIL: titled/anchored links to an existing file were rejected"
+        exit 1
+    fi
+    if "$0" "$tmp/bad.md" > /dev/null 2>&1; then
+        echo "SELF-TEST FAIL: a titled link to a missing file was accepted"
+        exit 1
+    fi
+    echo "self-test passed (titled links resolved, broken titled link caught)"
+    exit 0
+}
+
+[[ ${1:-} == --self-test ]] && self_test
 
 cd "$(dirname "$0")/.."
 
 files=("$@")
 if [[ ${#files[@]} -eq 0 ]]; then
+    # ISSUE.md is per-PR task metadata (it quotes link syntax literally),
+    # not documentation — skip it by default.
     while IFS= read -r f; do files+=("$f"); done < <(
-        find . -name '*.md' -not -path './build*' -not -path './.git/*' | sort)
+        find . -name '*.md' -not -path './build*' -not -path './.git/*' \
+             -not -name 'ISSUE.md' | sort)
 fi
 
 failures=0
@@ -21,6 +57,10 @@ for file in "${files[@]}"; do
     dir=$(dirname "$file")
     # Inline links [text](target); tolerate several per line.
     while IFS= read -r target; do
+        # Strip an optional link title: `path "title"` / `path 'title'`.
+        if [[ $target =~ ^(.*[^[:space:]])[[:space:]]+(\"[^\"]*\"|\'[^\']*\')$ ]]; then
+            target=${BASH_REMATCH[1]}
+        fi
         case "$target" in
             http://*|https://*|mailto:*|'#'*) continue ;;
         esac

@@ -325,6 +325,29 @@ Protocol ProtocolBuilder::build() && {
         p.neighbors_[neighbor_cursor[static_cast<std::size_t>(q1)]++] = {q2, id};
         p.neighbors_[neighbor_cursor[static_cast<std::size_t>(q2)]++] = {q1, id};
     }
+
+    // Post-state transition incidence (transitions_producing): count, prefix
+    // sum, fill.  Scanning transitions in id order keeps every per-state list
+    // ascending — the order the trap worklist relies on.
+    std::vector<std::uint32_t> producing_degree(n, 0);
+    for (const Transition& t : p.transitions_) {
+        ++producing_degree[static_cast<std::size_t>(t.post1)];
+        if (t.post2 != t.post1) ++producing_degree[static_cast<std::size_t>(t.post2)];
+    }
+    p.producing_offsets_.assign(n + 1, 0);
+    for (std::size_t q = 0; q < n; ++q)
+        p.producing_offsets_[q + 1] = p.producing_offsets_[q] + producing_degree[q];
+    p.producing_ids_.resize(p.producing_offsets_[n]);
+    std::vector<std::uint32_t> producing_cursor(p.producing_offsets_.begin(),
+                                                p.producing_offsets_.end() - 1);
+    for (std::size_t i = 0; i < p.transitions_.size(); ++i) {
+        const Transition& t = p.transitions_[i];
+        p.producing_ids_[producing_cursor[static_cast<std::size_t>(t.post1)]++] =
+            static_cast<TransitionId>(i);
+        if (t.post2 != t.post1)
+            p.producing_ids_[producing_cursor[static_cast<std::size_t>(t.post2)]++] =
+                static_cast<TransitionId>(i);
+    }
     return p;
 }
 

@@ -175,6 +175,19 @@ public:
         return self_pair_[static_cast<std::size_t>(q)];
     }
 
+    /// Transition-incidence index: the TransitionIds whose *post* states
+    /// include q (each transition listed once even when post1 == post2), in
+    /// ascending TransitionId order.  CSR over all states, Θ(|Q| + |T|)
+    /// memory.  This is the reactivation set of worklist fixpoints over
+    /// shrinking state sets: removing q can only newly violate transitions
+    /// that produce q.
+    std::span<const TransitionId> transitions_producing(StateId q) const {
+        const auto i = static_cast<std::size_t>(q);
+        PPSC_DASSERT(i + 1 < producing_offsets_.size());
+        return {producing_ids_.data() + producing_offsets_[i],
+                static_cast<std::size_t>(producing_offsets_[i + 1] - producing_offsets_[i])};
+    }
+
     /// Leader multiset L (all-zero for leaderless protocols).
     const Config& leaders() const noexcept { return leaders_; }
     bool is_leaderless() const noexcept;
@@ -248,6 +261,9 @@ private:
     std::vector<std::uint32_t> neighbor_offsets_;  // size |Q|+1
     std::vector<PairNeighbor> neighbors_;          // flat, grouped by state
     std::vector<PairId> self_pair_;                // size |Q|, kNoPair if silent
+    // Post-state transition incidence (see transitions_producing).
+    std::vector<std::uint32_t> producing_offsets_;  // size |Q|+1
+    std::vector<TransitionId> producing_ids_;       // flat, ascending per state
     std::vector<std::string> input_names_;
     std::vector<StateId> input_states_;
     Config leaders_;

@@ -36,6 +36,11 @@ struct ConvergenceSweepOptions {
     /// Worker threads running trials: 1 = serial, 0 = one per hardware
     /// thread.  The produced rows do not depend on this setting.
     unsigned parallelism = 0;
+    /// Trap-computation algorithm of the sweep's simulator.  Both produce
+    /// identical traps and therefore identical rows; `reference` exists for
+    /// the CI leg that asserts exactly that.  The worklist is what makes
+    /// convergence (not just throughput) sweeps feasible at |Q| ≥ 10⁵.
+    TrapCompute trap_compute = TrapCompute::worklist;
 };
 
 /// Runs `runs_per_size` seeded simulations of IC(i) for each population
@@ -59,6 +64,10 @@ struct ThroughputRow {
     std::size_t nonsilent_pairs = 0;
     std::string rule_table;           ///< "dense" or "sparse" (resolved kind)
     std::size_t rule_table_bytes = 0; ///< Protocol::rule_table_bytes()
+    /// Seconds the row's Simulator spent computing its output traps — the
+    /// stable-consensus setup cost the worklist fixpoint collapses from
+    /// O(passes · |T|) to O(|T| + evictions · deg) at |Q| ≥ 10⁵.
+    double trap_setup_seconds = 0.0;
     AgentCount population = 0;
     std::uint64_t interactions = 0;   ///< interactions executed for the row
     double seconds = 0.0;             ///< wall-clock time for the row
@@ -88,6 +97,11 @@ struct E11Options {
     /// small instances included — through the hash-table lookup, which is
     /// how the CI smoke covers the sparse path end to end.
     RuleTable rule_table = RuleTable::automatic;
+    /// Trap-computation algorithm of the swept simulators (identical traps
+    /// either way; the forced-`reference` CI smoke leg mirrors the
+    /// forced-sparse one).  `trap_setup_seconds` makes the difference
+    /// visible as a column.
+    TrapCompute trap_compute = TrapCompute::worklist;
 };
 
 std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options = {});

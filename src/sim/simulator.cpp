@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <type_traits>
@@ -33,8 +34,8 @@ constexpr std::size_t kFenwickPairThreshold = 256;
 
 }  // namespace
 
-Simulator::Simulator(const Protocol& protocol, PairSelect pair_select)
-    : protocol_(protocol), pair_select_(pair_select) {
+Simulator::Simulator(const Protocol& protocol, PairSelect pair_select, TrapCompute trap_compute)
+    : protocol_(protocol), pair_select_(pair_select), trap_compute_(trap_compute) {
     if (pair_select_ == PairSelect::automatic) {
         // The heuristic is keyed on the PairId universe (#non-silent pairs),
         // not on |Q|² — so it resolves identically under the dense and the
@@ -48,38 +49,43 @@ Simulator::Simulator(const Protocol& protocol, PairSelect pair_select)
 }
 
 void Simulator::compute_output_traps() {
-    // Greatest-fixpoint under-approximation of the largest interaction-closed
-    // subset of O⁻¹(b): start from all b-output states; while some transition
-    // has both pre-states inside but a post-state outside, evict both
-    // pre-states.  Evicting both is conservative (a smaller trap is still
-    // sound) and makes the iteration deterministic.
+    // The fixpoint itself lives in sim/traps.cpp (worklist by default, with
+    // the original pass structure as TrapCompute::reference — identical trap
+    // sets).  The constructor additionally folds the two trap bitmaps into
+    // the per-state outside mask the count-delta hot path reads.
+    const auto start = std::chrono::steady_clock::now();
+    for (int b = 0; b < 2; ++b) traps_[b] = compute_output_trap(protocol_, b, trap_compute_);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    trap_setup_seconds_ = elapsed.count();
+
     const std::size_t n = protocol_.num_states();
-    for (int b = 0; b < 2; ++b) {
-        std::vector<bool>& trap = traps_[b];
-        trap.assign(n, false);
-        for (std::size_t q = 0; q < n; ++q)
-            trap[q] = (protocol_.output(static_cast<StateId>(q)) == b);
-        bool changed = true;
-        while (changed) {
-            changed = false;
-            for (const Transition& t : protocol_.transitions()) {
-                const auto p1 = static_cast<std::size_t>(t.pre1);
-                const auto p2 = static_cast<std::size_t>(t.pre2);
-                if (!trap[p1] || !trap[p2]) continue;
-                const bool posts_inside = trap[static_cast<std::size_t>(t.post1)] &&
-                                          trap[static_cast<std::size_t>(t.post2)];
-                if (!posts_inside) {
-                    trap[p1] = false;
-                    trap[p2] = false;
-                    changed = true;
-                }
-            }
-        }
+    outside_mask_.assign(n, 0);
+    for (std::size_t q = 0; q < n; ++q) {
+        outside_mask_[q] = static_cast<std::uint8_t>((traps_[0][q] ? 0u : 1u) |
+                                                     (traps_[1][q] ? 0u : 2u));
     }
 }
 
 bool Simulator::is_silent(const Config& config) const {
+    // O(1) along a trajectory: the cached step context maintains W (the
+    // ordered non-silent pair weight) exactly, and W == 0 ⟺ silent.
+    if (const auto* ctx = current_cached_context<std::int64_t>(config))
+        return ctx->active_weight == 0;
+    if (const auto* ctx = current_cached_context<Int128>(config))
+        return ctx->active_weight == 0;
+    // Counts-based rescan over whichever candidate set is smaller: the
+    // protocol's non-silent pairs (Θ(#pairs), independent of how the
+    // population spreads) or the support-pair square.  Wide-support
+    // configurations on |Q| ≥ 10⁵ protocols used to pay O(|support|²) hash
+    // probes here; the flagship family has only Θ(|Q|) non-silent pairs.
     const std::vector<StateId> support = config.support();
+    if (protocol_.nonsilent_pairs().size() < support.size() * support.size()) {
+        for (const auto& [p, q] : protocol_.nonsilent_pairs()) {
+            const bool enabled = p == q ? config[p] >= 2 : config[p] >= 1 && config[q] >= 1;
+            if (enabled) return false;
+        }
+        return true;
+    }
     for (std::size_t i = 0; i < support.size(); ++i) {
         for (std::size_t j = i; j < support.size(); ++j) {
             if (i == j && config[support[i]] < 2) continue;  // pair needs two agents
@@ -90,6 +96,12 @@ bool Simulator::is_silent(const Config& config) const {
 }
 
 bool Simulator::is_provably_stable(const Config& config) const {
+    // O(1) along a trajectory: the cached step context carries the per-trap
+    // outside-support counters and the silence weight.
+    if (const auto* ctx = current_cached_context<std::int64_t>(config))
+        return ctx->provably_stable();
+    if (const auto* ctx = current_cached_context<Int128>(config))
+        return ctx->provably_stable();
     for (int b = 0; b < 2; ++b) {
         bool inside = true;
         for (const StateId q : config.support()) {
@@ -144,9 +156,28 @@ void Simulator::init_context(StepContextT<W>& ctx, const Config& config) const {
                 ctx.active_weight += static_cast<W>(counts[q]) * (static_cast<W>(counts[q]) - 1);
         }
     }
+    // Per-trap outside-support counters: how many agents sit outside each
+    // W_b right now (0 ⟺ the output is stably b).  Maintained incrementally
+    // from here on by apply_count_delta.
+    ctx.outside_trap[0] = 0;
+    ctx.outside_trap[1] = 0;
+    const auto& counts = config.counts();
+    for (std::size_t q = 0; q < counts.size(); ++q) {
+        if (counts[q] == 0) continue;
+        const std::uint8_t outside = outside_mask_[q];
+        if (outside & 1u) ctx.outside_trap[0] += counts[q];
+        if (outside & 2u) ctx.outside_trap[1] += counts[q];
+    }
     ctx.dirty.clear();
     ctx.owner = nullptr;
     ctx.version = 0;
+}
+
+template <typename W>
+const Simulator::StepContextT<W>* Simulator::current_cached_context(const Config& config) const {
+    const StepContextT<W>& cache = cache_slot<W>();
+    if (cache.owner == &config && cache.version == config.version()) return &cache;
+    return nullptr;
 }
 
 template <typename W>
@@ -186,6 +217,11 @@ void Simulator::apply_count_delta(StepContextT<W>& ctx, Config& config, StateId 
     const AgentCount before = config[q];
     config.add(q, delta);
     ctx.agents.add(static_cast<std::size_t>(q), delta);
+    // Outside-trap counters: one byte load resolves both traps.
+    if (const std::uint8_t outside = outside_mask_[static_cast<std::size_t>(q)]; outside != 0) {
+        if (outside & 1u) ctx.outside_trap[0] += delta;
+        if (outside & 2u) ctx.outside_trap[1] += delta;
+    }
     // Δ of c(c−1) for the self pair, 2·Δc·count(p) for each cross pair; the
     // protocol's delta table lists exactly the affected PairIds.
     if (pair_select_ == PairSelect::fenwick) {
@@ -355,11 +391,14 @@ std::pair<StateId, StateId> Simulator::sample_pair(const Config& config, Rng& rn
 }
 
 template <typename W>
-std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng,
-                                        std::uint64_t max_interactions) const {
+std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions,
+                                        bool stop_when_stable) const {
     StepContextT<W>& ctx = cached_context<W>(config);
     std::uint64_t done = 0;
     while (done < max_interactions) {
+        // The O(1) stability probe (two counters + W); the silent case alone
+        // is also caught by advance() below, budget-accounted.
+        if (stop_when_stable && ctx.provably_stable()) break;
         std::uint64_t consumed = 0;
         const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
         done += consumed;
@@ -369,14 +408,14 @@ std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng,
     return done;
 }
 
-std::uint64_t Simulator::run_batch(Config& config, Rng& rng,
-                                   std::uint64_t max_interactions) const {
+std::uint64_t Simulator::run_batch(Config& config, Rng& rng, std::uint64_t max_interactions,
+                                   bool stop_when_stable) const {
     // Populations of 0 or 1 agents have no ordered pairs (n(n−1) == 0):
     // no encounter can ever happen, so the batch is trivially complete.
     if (config.size() < 2) return 0;
     if (pairs_fit_int64(config.size()))
-        return run_batch_impl<std::int64_t>(config, rng, max_interactions);
-    return run_batch_impl<Int128>(config, rng, max_interactions);
+        return run_batch_impl<std::int64_t>(config, rng, max_interactions, stop_when_stable);
+    return run_batch_impl<Int128>(config, rng, max_interactions, stop_when_stable);
 }
 
 std::optional<TransitionId> Simulator::fired_step(Config& config, Rng& rng, std::uint64_t budget,
@@ -402,35 +441,14 @@ SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
                                      const SimulationOptions& options) const {
     const AgentCount population = config.size();
 
-    // Per-run context on the stack: run() stays thread-safe.
+    // Per-run context on the stack: run() stays thread-safe.  The context
+    // carries the per-trap outside-support counters, so every stability
+    // probe below is an O(1) counter read.
     StepContextT<W> ctx;
     init_context(ctx, config);
 
-    // Track, incrementally, how many agents sit outside each output trap;
-    // when a counter hits zero the configuration is provably stable.
-    AgentCount outside[2] = {0, 0};
-    for (std::size_t q = 0; q < protocol_.num_states(); ++q) {
-        for (int b = 0; b < 2; ++b) {
-            if (!traps_[b][q]) outside[b] += config[static_cast<StateId>(q)];
-        }
-    }
-
     std::uint64_t interactions = 0;
-    bool converged = outside[0] == 0 || outside[1] == 0 || ctx.active_weight == 0;
-
-    // Moves the fired transition's agents between the outside-the-trap
-    // counters; returns true when one trap captured the whole population.
-    const auto trap_counters_hit_zero = [&](TransitionId fired) {
-        const Transition& t = protocol_.transitions()[static_cast<std::size_t>(fired)];
-        for (int b = 0; b < 2; ++b) {
-            const auto& trap = traps_[b];
-            outside[b] += static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post1)]) +
-                          static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.post2)]) -
-                          static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre1)]) -
-                          static_cast<AgentCount>(!trap[static_cast<std::size_t>(t.pre2)]);
-        }
-        return outside[0] == 0 || outside[1] == 0;
-    };
+    bool converged = ctx.provably_stable();
 
     while (!converged && interactions < options.max_interactions) {
         std::uint64_t consumed = 0;
@@ -441,7 +459,7 @@ SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
             if (consumed == 0) converged = true;  // silent
             continue;  // else: budget exhausted, loop condition exits
         }
-        if (trap_counters_hit_zero(*fired) || ctx.active_weight == 0) converged = true;
+        converged = ctx.provably_stable();
     }
 
     SimulationResult result{std::move(config), interactions, converged, std::nullopt, 0.0};

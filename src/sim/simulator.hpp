@@ -49,17 +49,31 @@
 //      (every transition whose both pre-states lie in W_b has both
 //      post-states in W_b).  If all agents are inside W_b, every reachable
 //      configuration stays inside, so the output is stably b.  We compute a
-//      greatest-fixpoint under-approximation of the largest such trap.
+//      greatest-fixpoint under-approximation of the largest such trap
+//      (sim/traps.hpp: a worklist fixpoint over the protocol's
+//      transition-incidence index, O(|T| + evictions · deg) instead of the
+//      O(passes · |T|) reference pass structure it is asserted identical
+//      to — trap setup at |Q| ≥ 10⁵ in milliseconds instead of minutes).
 //
 // Both checks are sound: `converged == true` really means the execution has
 // stabilised.  They are not complete; runs that stabilise in a form the
 // checks cannot see terminate at `max_interactions` with converged == false.
 //
+// Stability probes are O(1) along a trajectory: every step context carries
+// per-trap outside-support counters (agents sitting outside W_b) maintained
+// by the same count-delta machinery that maintains the silence weight W, so
+// is_provably_stable on the configuration the cached context owns — and the
+// early-stop checks inside run()/run_batch() — read two counters instead of
+// rescanning the support (previously O(|support|) + an O(|support|²)
+// silence re-scan per probe).
+//
 // Thread safety: run()/run_input() are const and keep all mutable state on
 // the stack, so one Simulator may serve concurrent runs (this is what the
 // parallel convergence sweeps do).  step()/run_batch()/fired_step()/
 // sample_pair() share a per-simulator sampler cache and must not be called
-// concurrently.
+// concurrently — and is_silent()/is_provably_stable() *read* that cache
+// (the O(1) probe path), so they must not race with the cache-writing calls
+// either; concurrently with run()/run_input() they are fine.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +83,7 @@
 
 #include "core/config.hpp"
 #include "core/protocol.hpp"
+#include "sim/traps.hpp"
 #include "support/fenwick.hpp"
 #include "support/rng.hpp"
 
@@ -101,10 +116,20 @@ enum class PairSelect { automatic, fenwick, scan };
 class Simulator {
 public:
     explicit Simulator(const Protocol& protocol,
-                       PairSelect pair_select = PairSelect::automatic);
+                       PairSelect pair_select = PairSelect::automatic,
+                       TrapCompute trap_compute = TrapCompute::worklist);
 
     /// The selection mode actually in use (`automatic` resolved).
     PairSelect pair_selection() const noexcept { return pair_select_; }
+
+    /// The trap-computation algorithm this simulator was seeded with (both
+    /// produce identical traps; see sim/traps.hpp).
+    TrapCompute trap_compute() const noexcept { return trap_compute_; }
+
+    /// Wall-clock seconds the constructor spent computing the output traps
+    /// — the quantity the worklist fixpoint collapses at |Q| ≥ 10⁵
+    /// (surfaced as the E11 `trap_setup_seconds` column).
+    double trap_setup_seconds() const noexcept { return trap_setup_seconds_; }
 
     /// Runs from `config` until a sound stability condition holds or the
     /// interaction budget is exhausted.  Thread-safe.
@@ -123,9 +148,13 @@ public:
     /// encounters are counted and, when profitable, skipped in bulk without
     /// changing the trajectory distribution).  Returns the number executed —
     /// never more than `max_interactions`; less only when the configuration
-    /// became silent (no transition can ever fire again).  Populations of 0
-    /// or 1 agents have no pairs and return 0 cleanly.  Not thread-safe.
-    std::uint64_t run_batch(Config& config, Rng& rng, std::uint64_t max_interactions) const;
+    /// became silent (no transition can ever fire again) or, with
+    /// `stop_when_stable`, provably stable (is_provably_stable — an O(1)
+    /// counter read per fired interaction; the trajectory up to the stop is
+    /// unchanged).  Populations of 0 or 1 agents have no pairs and return 0
+    /// cleanly.  Not thread-safe.
+    std::uint64_t run_batch(Config& config, Rng& rng, std::uint64_t max_interactions,
+                            bool stop_when_stable = false) const;
 
     /// Advances the chain to its next *fired* interaction: consumes the
     /// (geometrically distributed) run of silent encounters, then fires one
@@ -147,10 +176,15 @@ public:
     const std::vector<bool>& output_trap(int b) const { return traps_[b]; }
 
     /// True iff the configuration is silent: every enabled pair of states
-    /// has only the implicit silent transition.  O(|support|²) rescan.
+    /// has only the implicit silent transition.  O(1) when `config` owns the
+    /// cached step context (the W == 0 identity); otherwise a counts-based
+    /// rescan over min(#non-silent pairs, |support|²) candidates.
     bool is_silent(const Config& config) const;
 
-    /// True iff one of the two sound stability conditions holds.
+    /// True iff one of the two sound stability conditions holds.  O(1) when
+    /// `config` owns the cached step context (the per-trap outside-support
+    /// counters maintained along step/run_batch/fired_step trajectories);
+    /// otherwise a support scan plus a silence rescan.
     bool is_provably_stable(const Config& config) const;
 
 private:
@@ -185,8 +219,19 @@ private:
         /// single multiply per count change instead of per-pair products
         /// (scan selection recomputes per-pair weights from the counts).
         std::vector<AgentCount> partner_weight;
+        /// Agents currently outside each output trap W_b — 0 ⟺ the trap
+        /// captured the whole population, i.e. the output is stably b.
+        /// Maintained in apply_count_delta, so stability probes along a
+        /// trajectory are O(1) counter reads.
+        AgentCount outside_trap[2] = {0, 0};
         const Config* owner = nullptr;
         std::uint64_t version = 0;
+
+        /// The O(1) stable-consensus probe: a trap holds the whole
+        /// population, or the configuration is silent (W == 0).
+        bool provably_stable() const noexcept {
+            return outside_trap[0] == 0 || outside_trap[1] == 0 || active_weight == 0;
+        }
     };
 
     /// Pair weights fit int64 exactly when n(n−1) does: n ≤ 2³¹ agents.
@@ -200,6 +245,12 @@ private:
     void init_context(StepContextT<W>& ctx, const Config& config) const;
     template <typename W>
     StepContextT<W>& cached_context(const Config& config) const;
+
+    /// The cached context of `config` iff it is current (same object, same
+    /// version — i.e. the incremental counters describe exactly this
+    /// value); nullptr otherwise.  Read-only: never (re)initialises.
+    template <typename W>
+    const StepContextT<W>* current_cached_context(const Config& config) const;
 
     /// Adds `delta` agents to state q, keeping the agent tree and the exact
     /// pair-weight layer in sync (O(deg(q)) via the protocol's per-pair
@@ -234,12 +285,18 @@ private:
     template <typename W>
     SimulationResult run_impl(Config&& config, Rng& rng, const SimulationOptions& options) const;
     template <typename W>
-    std::uint64_t run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions) const;
+    std::uint64_t run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions,
+                                 bool stop_when_stable) const;
 
     // Owned copy: simulators are long-lived; never dangle on a temporary.
     Protocol protocol_;
     PairSelect pair_select_;
+    TrapCompute trap_compute_;
+    double trap_setup_seconds_ = 0.0;
     std::vector<bool> traps_[2];  // traps_[b][q]: q belongs to the b-trap
+    /// outside_mask_[q]: bit b set ⟺ q lies *outside* trap b — one byte
+    /// load resolves both per-trap counter updates on the count-delta path.
+    std::vector<std::uint8_t> outside_mask_;
 
     mutable StepContextT<std::int64_t> cache64_;
     mutable StepContextT<Int128> cache128_;
