@@ -20,10 +20,12 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 
 #include "protocols/double_exp_threshold.hpp"
 #include "protocols/threshold.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traps.hpp"
@@ -217,6 +219,106 @@ void BM_E11SparseMergePhase(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(executed));
 }
 BENCHMARK(BM_E11SparseMergePhase)->Args({13, 1 << 14});
+
+// --- Checkpointing ----------------------------------------------------------
+
+// Snapshot cost at the flagship scale (n = 17, |Q| = 131075): the write
+// row measures serialize + crash-safe persist (tmp, fsync, atomic rename,
+// rotation prune); the load row measures read + full validation (magic,
+// version, CRC-64, payload shape, fingerprint) + Config rebuild.  Both are
+// Θ(|support|), not Θ(|Q|) — the sparse encoding is what keeps a 10⁵-state
+// checkpoint in the hundreds of bytes.
+Checkpoint flagship_checkpoint(const Protocol& protocol) {
+    Checkpoint ck;
+    ck.fingerprint = protocol_fingerprint(protocol);
+    Config config = protocol.initial_config(1 << 14);
+    const Simulator simulator(protocol);
+    Rng rng(41);
+    simulator.run_batch(config, rng, 1 << 16);  // realistic mid-run support
+    ck.config = std::move(config);
+    ck.rng_state = rng.state();
+    ck.interactions = 1 << 16;
+    ck.fired = 1 << 12;
+    return ck;
+}
+
+void BM_CheckpointWrite(benchmark::State& state) {
+    const Protocol& protocol = e11_flagship_protocol(static_cast<int>(state.range(0)));
+    const Checkpoint ck = flagship_checkpoint(protocol);
+    CheckpointDir dir("bench-checkpoints.tmp", 3);
+    std::uint64_t written = 0;
+    for (auto _ : state) {
+        if (dir.write(ck) != CheckpointError::none) state.SkipWithError("write failed");
+        ++written;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(written));
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(written * serialize_checkpoint(ck).size()));
+    std::filesystem::remove_all("bench-checkpoints.tmp");
+}
+BENCHMARK(BM_CheckpointWrite)->Arg(17)->Unit(benchmark::kMicrosecond);
+
+void BM_CheckpointLoad(benchmark::State& state) {
+    const Protocol& protocol = e11_flagship_protocol(static_cast<int>(state.range(0)));
+    const Checkpoint ck = flagship_checkpoint(protocol);
+    CheckpointDir dir("bench-checkpoints.tmp", 3);
+    if (dir.write(ck) != CheckpointError::none) state.SkipWithError("setup write failed");
+    std::uint64_t loaded = 0;
+    for (auto _ : state) {
+        const CheckpointDir::Latest latest = dir.load_latest(ck.fingerprint);
+        if (!latest.checkpoint) state.SkipWithError("load failed");
+        benchmark::DoNotOptimize(latest);
+        ++loaded;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(loaded));
+    std::filesystem::remove_all("bench-checkpoints.tmp");
+}
+BENCHMARK(BM_CheckpointLoad)->Arg(17)->Unit(benchmark::kMicrosecond);
+
+// Checkpointing overhead on the batched engine: the same run_batch loop as
+// the merge-phase row, with a crash-safe snapshot every 10⁸ interactions —
+// the cadence a week-long run would use.  The target is < 1% throughput
+// cost against BM_E11SparseMergePhase; the hook itself fires only at
+// fired-step boundaries and consumes no randomness, so almost all of the
+// budget is the (rare) write.
+void BM_E11MergePhaseCheckpointed(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const auto population = static_cast<AgentCount>(state.range(1));
+    const Protocol& protocol = e11_flagship_protocol(n);
+    const Simulator simulator(protocol);
+    CheckpointDir dir("bench-checkpoints.tmp", 2);
+    const std::uint64_t fingerprint = protocol_fingerprint(protocol);
+    Config config = protocol.initial_config(population);
+    Rng rng(7);
+    std::uint64_t executed = 0;
+    CheckpointHook hook;
+    hook.callback = [&](const CheckpointTick& tick) {
+        Checkpoint ck;
+        ck.fingerprint = fingerprint;
+        ck.config = tick.config;
+        ck.rng_state = tick.rng_state;
+        ck.interactions = executed + tick.interactions;
+        ck.fired = tick.fired;
+        dir.write(ck);
+        return true;
+    };
+    constexpr std::uint64_t kBatch = 1 << 14;
+    constexpr std::uint64_t kCadence = 100'000'000;
+    for (auto _ : state) {
+        // Cadence marks are absolute; the per-call `every` is the distance
+        // to the next mark (or out of reach, keeping only the per-step
+        // hook branch in play — exactly what a long-lived call sees).
+        const std::uint64_t mark = (executed / kCadence + 1) * kCadence;
+        hook.every = mark - executed <= kBatch ? mark - executed : kBatch + 1;
+        const std::uint64_t done = simulator.run_batch(config, rng, kBatch, false, &hook);
+        executed += done;
+        if (done < kBatch) config = protocol.initial_config(population);  // went silent
+        benchmark::DoNotOptimize(config);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(executed));
+    std::filesystem::remove_all("bench-checkpoints.tmp");
+}
+BENCHMARK(BM_E11MergePhaseCheckpointed)->Args({13, 1 << 14});
 
 // --- Stable-consensus detection ---------------------------------------------
 

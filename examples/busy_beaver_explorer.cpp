@@ -8,20 +8,26 @@
 // deterministic n-state protocol up to state renaming, verifies each
 // exhaustively, and prints the census — the experimental floor under the
 // paper's Ω(2^n) lower bound and 2^((2n+2)!) upper bound.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 #include "bounds/paper_bounds.hpp"
 #include "search/busy_beaver.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     using namespace ppsc;
 
     std::size_t n = 2;
-    if (argc > 1) n = static_cast<std::size_t>(std::strtoull(argv[1], nullptr, 10));
-    if (n < 2 || n > 3) {
-        std::fprintf(stderr, "n must be 2 or 3 (exhaustive search)\n");
-        return 1;
+    if (argc > 1) {
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long long value = std::strtoull(argv[1], &end, 10);
+        if (end == argv[1] || *end != '\0' || errno == ERANGE || value < 2 || value > 3) {
+            std::fprintf(stderr, "n must be 2 or 3 (exhaustive search), got '%s'\n", argv[1]);
+            return 1;
+        }
+        n = static_cast<std::size_t>(value);
     }
 
     search::SearchOptions options;
@@ -49,4 +55,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(lower.best()), static_cast<long long>(lower.binary_eta));
     std::printf("Theorem 5.9 upper bound: %s\n", bounds::theta(n).to_string().c_str());
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

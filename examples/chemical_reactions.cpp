@@ -13,7 +13,7 @@
 #include "protocols/threshold.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+int main() try {
     using namespace ppsc;
 
     const Protocol protocol = protocols::collector_threshold(5);
@@ -53,4 +53,7 @@ int main() {
     std::printf("\nfinal consensus: %s\n",
                 output ? (*output ? "threshold reached" : "below threshold") : "not yet settled");
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -9,20 +9,27 @@
 //
 // This example contrasts the state budgets of the library's three
 // leaderless constructions and simulates the succinct one at scale.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
 #include "protocols/threshold.hpp"
 #include "sim/simulator.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
     using namespace ppsc;
 
     AgentCount eta = 1000;
-    if (argc > 1) eta = std::strtoll(argv[1], nullptr, 10);
-    if (eta < 2 || eta > (AgentCount{1} << 30)) {
-        std::fprintf(stderr, "eta must be in [2, 2^30]\n");
-        return 1;
+    if (argc > 1) {
+        errno = 0;
+        char* end = nullptr;
+        const long long value = std::strtoll(argv[1], &end, 10);
+        if (end == argv[1] || *end != '\0' || errno == ERANGE || value < 2 ||
+            value > (1ll << 30)) {
+            std::fprintf(stderr, "eta must be an integer in [2, 2^30], got '%s'\n", argv[1]);
+            return 1;
+        }
+        eta = value;
     }
 
     std::printf("predicate: x >= %lld\n\n", static_cast<long long>(eta));
@@ -57,4 +64,7 @@ int main(int argc, char** argv) {
     std::printf("\nexpected: 'sick!' exactly from %lld birds upward\n",
                 static_cast<long long>(eta));
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

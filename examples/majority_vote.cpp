@@ -12,7 +12,7 @@
 #include "sim/simulator.hpp"
 #include "verify/verifier.hpp"
 
-int main() {
+int main() try {
     using namespace ppsc;
 
     const Protocol protocol = protocols::majority();
@@ -47,4 +47,7 @@ int main() {
     std::printf("\nnote: ties and near-ties converge much more slowly — the\n"
                 "time/state trade-off that motivates the state-complexity question.\n");
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -11,7 +11,7 @@
 #include "protocols/presburger.hpp"
 #include "verify/verifier.hpp"
 
-int main() {
+int main() try {
     using namespace ppsc;
 
     struct Case {
@@ -42,4 +42,7 @@ int main() {
                 "same predicates with exponentially fewer states — the gap the paper's\n"
                 "lower bounds constrain.\n");
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

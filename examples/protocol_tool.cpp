@@ -3,6 +3,8 @@
 //   $ ./protocol_tool info      <file.pp>
 //   $ ./protocol_tool verify    <file.pp> <eta> [max_input]
 //   $ ./protocol_tool simulate  <file.pp> <population> [seed]
+//   $ ./protocol_tool longrun   <file.pp> <population> <interactions> [seed]
+//   $ ./protocol_tool sweep     <file.pp> <eta> <pop1,pop2,...> [runs] [seed]
 //   $ ./protocol_tool dot       <file.pp>
 //   $ ./protocol_tool family    <name> [params]  (prints a built-in family)
 //   $ ./protocol_tool demo                       (prints a sample file)
@@ -20,16 +22,40 @@
 //
 //   $ ./protocol_tool family double_exp 2 > d2.pp
 //   $ ./protocol_tool verify d2.pp 16
+//
+// `longrun` and `sweep` are the durable run surfaces: with
+// --checkpoint-dir they periodically snapshot (config, rng, counters)
+// crash-safely (sim/checkpoint.hpp — atomic rename, keep-last-K
+// rotation), SIGTERM/SIGINT triggers a graceful stop (finish the current
+// step, write a final checkpoint, exit cleanly), and --resume (longrun) /
+// re-running with the same flags (sweep) continues the trajectory
+// byte-identically — a resumed run prints the same final digest line as
+// an uninterrupted one:
+//
+//   $ ./protocol_tool family double_exp 3 > d3.pp
+//   $ ./protocol_tool longrun d3.pp 512 100000000 7 \
+//         --checkpoint-dir ck --checkpoint-every 1000000
+//   ^C   (or SIGKILL — the rotation keeps the last snapshots)
+//   $ ./protocol_tool longrun d3.pp 512 100000000 7 --checkpoint-dir ck --resume
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <atomic>
 #include <fstream>
+#include <limits>
+#include <optional>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/protocol_parser.hpp"
 #include "protocols/families.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "verify/verifier.hpp"
 
@@ -59,10 +85,25 @@ void print_usage(const char* argv0, std::FILE* out) {
                  "  info     <file.pp>                     print states/inputs/transitions\n"
                  "  verify   <file.pp> <eta> [max_input]   exhaustively check x >= eta\n"
                  "  simulate <file.pp> <population> [seed] one randomized run from IC\n"
+                 "  longrun  <file.pp> <population> <interactions> [seed]\n"
+                 "                                         checkpointed throughput run\n"
+                 "  sweep    <file.pp> <eta> <pop1,pop2,...> [runs] [seed]\n"
+                 "                                         checkpointed convergence sweep\n"
                  "  dot      <file.pp>                     GraphViz rendering\n"
                  "  family   <name> [params]               print a built-in family as .pp\n"
                  "  demo                                   print a sample .pp file\n"
                  "  help                                   this message\n"
+                 "\n"
+                 "checkpoint flags (longrun, sweep):\n"
+                 "  --checkpoint-dir <dir>    crash-safe rotation directory\n"
+                 "  --checkpoint-every <n>    interactions between snapshots (default 10^8)\n"
+                 "  --checkpoint-keep <k>     rotation depth keep-last-K (default 3)\n"
+                 "  --resume                  longrun: restore the newest valid snapshot\n"
+                 "                            (sweep resumes automatically per trial)\n"
+                 "  --die-after <n>           testing: SIGKILL self at the first snapshot\n"
+                 "                            at/past n interactions\n"
+                 "SIGTERM/SIGINT stop gracefully: finish the current step, write a final\n"
+                 "checkpoint, exit 0.\n"
                  "\n"
                  "families (every registered family; parameters and ranges):\n%s",
                  argv0, protocols::family_usage().c_str());
@@ -70,13 +111,231 @@ void print_usage(const char* argv0, std::FILE* out) {
 
 Protocol load(const char* path) {
     std::ifstream file(path);
-    if (!file) {
-        std::fprintf(stderr, "cannot open %s\n", path);
-        std::exit(1);
-    }
+    if (!file) throw std::invalid_argument(std::string("cannot open ") + path);
     std::ostringstream text;
     text << file.rdbuf();
     return parse_protocol(text.str());
+}
+
+/// Strict numeric argument parsing: the whole token must be a number in
+/// [min, max] — "12x", "", and out-of-range values all get a one-line
+/// diagnostic instead of strtoll's silent 0.
+std::int64_t parse_int(const char* what, const char* text, std::int64_t min, std::int64_t max) {
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || errno == ERANGE || value < min || value > max) {
+        std::ostringstream message;
+        message << what << " must be an integer in [" << min << ", " << max << "], got '"
+                << text << "'";
+        throw std::invalid_argument(message.str());
+    }
+    return value;
+}
+
+std::uint64_t parse_u64(const char* what, const char* text) {
+    return static_cast<std::uint64_t>(
+        parse_int(what, text, 0, std::numeric_limits<std::int64_t>::max()));
+}
+
+std::vector<AgentCount> parse_population_list(const char* text) {
+    std::vector<AgentCount> populations;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ','))
+        populations.push_back(parse_int("population", token.c_str(), 2,
+                                        std::numeric_limits<std::int64_t>::max()));
+    if (populations.empty())
+        throw std::invalid_argument("population list must name at least one population");
+    return populations;
+}
+
+/// Graceful-shutdown flag: SIGTERM/SIGINT set it (std::atomic<bool> stores
+/// are async-signal-safe); a second signal falls back to the default
+/// disposition so a stuck process can still be killed with Ctrl-C Ctrl-C.
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int signum) {
+    g_stop.store(true);
+    std::signal(signum, SIG_DFL);
+}
+
+void install_stop_handlers() {
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+}
+
+struct CheckpointFlags {
+    std::string dir;
+    std::uint64_t every = 100'000'000;
+    std::size_t keep = 3;
+    bool resume = false;
+    std::uint64_t die_after = 0;  // 0 = disabled
+};
+
+/// Extracts the checkpoint flags from argv (erasing them), leaving the
+/// positional arguments in place.
+CheckpointFlags extract_checkpoint_flags(std::vector<const char*>& args) {
+    CheckpointFlags flags;
+    std::vector<const char*> positional;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string_view arg = args[i];
+        const auto value = [&](const char* name) -> const char* {
+            if (++i >= args.size())
+                throw std::invalid_argument(std::string(name) + " needs a value");
+            return args[i];
+        };
+        if (arg == "--checkpoint-dir") {
+            flags.dir = value("--checkpoint-dir");
+        } else if (arg == "--checkpoint-every") {
+            flags.every = parse_u64("--checkpoint-every", value("--checkpoint-every"));
+            if (flags.every == 0)
+                throw std::invalid_argument("--checkpoint-every must be positive");
+        } else if (arg == "--checkpoint-keep") {
+            flags.keep = static_cast<std::size_t>(
+                parse_int("--checkpoint-keep", value("--checkpoint-keep"), 1, 1 << 20));
+        } else if (arg == "--resume") {
+            flags.resume = true;
+        } else if (arg == "--die-after") {
+            flags.die_after = parse_u64("--die-after", value("--die-after"));
+        } else if (arg.starts_with("--")) {
+            throw std::invalid_argument("unknown flag '" + std::string(arg) + "'");
+        } else {
+            positional.push_back(args[i]);
+        }
+    }
+    if (flags.dir.empty() && (flags.resume || flags.die_after != 0))
+        throw std::invalid_argument("--resume/--die-after need --checkpoint-dir");
+    args = std::move(positional);
+    return flags;
+}
+
+/// The durable throughput run: drives run_batch to an interaction budget
+/// (restarting from IC whenever a trajectory goes silent, like the E11
+/// sweep), snapshotting every ≥ N interactions.  The final line is a
+/// digest of (interactions, fired, restarts, rng state, config) — a
+/// killed-and-resumed run prints exactly the uninterrupted run's line.
+int run_longrun(const Protocol& protocol, AgentCount population, std::uint64_t budget,
+                std::uint64_t seed, const CheckpointFlags& flags) {
+    const std::uint64_t fingerprint = protocol_fingerprint(protocol);
+    const Simulator simulator(protocol);
+
+    Config config = protocol.initial_config(population);
+    Rng rng(seed);
+    std::uint64_t done = 0, fired = 0, restarts = 0;
+
+    std::optional<CheckpointDir> dir;
+    if (!flags.dir.empty()) dir.emplace(flags.dir, flags.keep);
+    if (flags.resume) {
+        const CheckpointDir::Latest latest = dir->load_latest(fingerprint);
+        for (const std::string& rejection : latest.rejected)
+            std::fprintf(stderr, "resume: skipping %s\n", rejection.c_str());
+        if (latest.checkpoint) {
+            config = latest.checkpoint->config;
+            rng.set_state(latest.checkpoint->rng_state);
+            done = latest.checkpoint->interactions;
+            fired = latest.checkpoint->fired;
+            restarts = latest.checkpoint->restarts;
+            std::printf("resumed from %s at %llu interactions\n", latest.path.c_str(),
+                        static_cast<unsigned long long>(done));
+        } else {
+            std::printf("no valid checkpoint in %s — starting fresh\n", flags.dir.c_str());
+        }
+    }
+
+    install_stop_handlers();
+    const auto snapshot = [&](const Config& at, std::uint64_t rng_state,
+                              std::uint64_t interactions, std::uint64_t fired_total) {
+        Checkpoint ck;
+        ck.fingerprint = fingerprint;
+        ck.config = at;
+        ck.rng_state = rng_state;
+        ck.interactions = interactions;
+        ck.fired = fired_total;
+        ck.restarts = restarts;
+        std::string detail;
+        if (dir->write(ck, nullptr, &detail) != CheckpointError::none)
+            std::fprintf(stderr, "checkpoint write failed: %s\n", detail.c_str());
+    };
+
+    while (done < budget && !g_stop.load()) {
+        CheckpointHook hook;
+        const CheckpointHook* hook_ptr = nullptr;
+        if (dir) {
+            hook.every = flags.every;
+            hook.callback = [&](const CheckpointTick& tick) {
+                snapshot(tick.config, tick.rng_state, done + tick.interactions,
+                         fired + tick.fired);
+                if (flags.die_after != 0 && done + tick.interactions >= flags.die_after) {
+                    // Deterministic crash injection for the CI smoke: a real
+                    // SIGKILL — no cleanup, no final checkpoint, the rotation
+                    // is all that survives.
+                    std::raise(SIGKILL);
+                }
+                return !g_stop.load();
+            };
+            hook_ptr = &hook;
+        }
+        std::uint64_t fired_in_call = 0;
+        const std::uint64_t got =
+            simulator.run_batch(config, rng, budget - done, false, hook_ptr, &fired_in_call);
+        done += got;
+        fired += fired_in_call;
+        if (done >= budget || g_stop.load()) break;
+        if (got == 0) {
+            std::printf("configuration is silent from the start — nothing to run\n");
+            break;
+        }
+        // Trajectory went silent before the budget: restart from IC so the
+        // run keeps measuring (deterministic — part of the resumable state).
+        ++restarts;
+        config = protocol.initial_config(population);
+    }
+
+    const bool interrupted = g_stop.load();
+    if (dir) {
+        snapshot(config, rng.state(), done, fired);
+        if (interrupted)
+            std::printf("interrupted — final checkpoint written to %s\n", flags.dir.c_str());
+    }
+    std::printf("longrun: interactions=%llu fired=%llu restarts=%llu rng=%016llx digest=%016llx\n",
+                static_cast<unsigned long long>(done), static_cast<unsigned long long>(fired),
+                static_cast<unsigned long long>(restarts),
+                static_cast<unsigned long long>(rng.state()),
+                static_cast<unsigned long long>(config_digest(config)));
+    return 0;
+}
+
+int run_sweep(const Protocol& protocol, AgentCount eta, const std::vector<AgentCount>& populations,
+              std::uint64_t runs, std::uint64_t seed, const CheckpointFlags& flags) {
+    install_stop_handlers();
+    ConvergenceSweepOptions options;
+    options.runs_per_size = runs;
+    options.seed = seed;
+    options.checkpoint_dir = flags.dir;
+    options.checkpoint_every = flags.dir.empty() ? 0 : flags.every;
+    options.checkpoint_keep_last = flags.keep;
+    options.stop = &g_stop;
+    const auto rows = convergence_sweep(
+        protocol, populations, [eta](AgentCount i) { return i >= eta ? 1 : 0; }, options);
+    std::printf("%10s %9s %16s %16s %9s\n", "population", "runs", "mean par.time", "stddev",
+                "correct");
+    for (const ConvergenceRow& row : rows) {
+        char runs_column[32];
+        std::snprintf(runs_column, sizeof runs_column, "%llu/%llu",
+                      static_cast<unsigned long long>(row.converged_runs),
+                      static_cast<unsigned long long>(row.runs));
+        std::printf("%10lld %9s %16.1f %16.1f %8.0f%%\n", static_cast<long long>(row.population),
+                    runs_column, row.mean_parallel_time, row.stddev_parallel_time,
+                    100.0 * row.correct_fraction);
+    }
+    if (g_stop.load()) {
+        std::printf("interrupted — unfinished trials checkpointed under %s; re-run the same\n"
+                    "sweep to resume them\n",
+                    flags.dir.empty() ? "(no --checkpoint-dir: progress lost)"
+                                      : flags.dir.c_str());
+    }
+    return 0;
 }
 
 }  // namespace
@@ -104,18 +363,22 @@ int main(int argc, char** argv) {
                        stdout);
             return 0;
         }
-        const Protocol protocol = load(argv[2]);
+        std::vector<const char*> args(argv + 2, argv + argc);
+        const CheckpointFlags flags = extract_checkpoint_flags(args);
+        if (args.empty()) throw std::invalid_argument("missing <file.pp>");
+        const Protocol protocol = load(args[0]);
         if (command == "info") {
             std::fputs(protocol.to_text().c_str(), stdout);
         } else if (command == "dot") {
             std::fputs(protocol.to_dot().c_str(), stdout);
         } else if (command == "verify") {
-            if (argc < 4) {
+            if (args.size() < 2) {
                 std::fprintf(stderr, "verify needs <eta>\n");
                 return 1;
             }
-            const AgentCount eta = std::strtoll(argv[3], nullptr, 10);
-            const AgentCount max_input = argc > 4 ? std::strtoll(argv[4], nullptr, 10) : eta + 4;
+            const AgentCount eta = parse_int("eta", args[1], 1, 1ll << 60);
+            const AgentCount max_input =
+                args.size() > 2 ? parse_int("max_input", args[2], 2, 1ll << 60) : eta + 4;
             const Verifier verifier(protocol);
             const PredicateCheck check =
                 verifier.check_predicate(Predicate::x_at_least(eta), 2, max_input);
@@ -130,12 +393,13 @@ int main(int argc, char** argv) {
             }
             return check.holds ? 0 : 2;
         } else if (command == "simulate") {
-            if (argc < 4) {
+            if (args.size() < 2) {
                 std::fprintf(stderr, "simulate needs <population>\n");
                 return 1;
             }
-            const AgentCount population = std::strtoll(argv[3], nullptr, 10);
-            Rng rng(argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1);
+            const AgentCount population =
+                parse_int("population", args[1], 2, std::numeric_limits<std::int64_t>::max());
+            Rng rng(args.size() > 2 ? parse_u64("seed", args[2]) : 1);
             const Simulator simulator(protocol);
             const SimulationResult result = simulator.run_input(population, rng);
             std::printf("population %lld: %s, output %s, %llu interactions (%.1f parallel)\n",
@@ -146,6 +410,26 @@ int main(int argc, char** argv) {
                         result.parallel_time);
             std::printf("final: %s\n",
                         result.final_config.to_string(protocol.state_names()).c_str());
+        } else if (command == "longrun") {
+            if (args.size() < 3) {
+                std::fprintf(stderr, "longrun needs <population> <interactions>\n");
+                return 1;
+            }
+            const AgentCount population =
+                parse_int("population", args[1], 2, std::numeric_limits<std::int64_t>::max());
+            const std::uint64_t budget = parse_u64("interactions", args[2]);
+            const std::uint64_t seed = args.size() > 3 ? parse_u64("seed", args[3]) : 1;
+            return run_longrun(protocol, population, budget, seed, flags);
+        } else if (command == "sweep") {
+            if (args.size() < 3) {
+                std::fprintf(stderr, "sweep needs <eta> <pop1,pop2,...>\n");
+                return 1;
+            }
+            const AgentCount eta = parse_int("eta", args[1], 1, 1ll << 60);
+            const std::vector<AgentCount> populations = parse_population_list(args[2]);
+            const std::uint64_t runs = args.size() > 3 ? parse_u64("runs", args[3]) : 20;
+            const std::uint64_t seed = args.size() > 4 ? parse_u64("seed", args[4]) : 0x5eed;
+            return run_sweep(protocol, eta, populations, runs, seed, flags);
         } else {
             std::fprintf(stderr, "unknown command '%s'; see '%s help'\n", argv[1], argv[0]);
             return 1;

@@ -13,7 +13,7 @@
 #include "sim/simulator.hpp"
 #include "verify/verifier.hpp"
 
-int main() {
+int main() try {
     using namespace ppsc;
 
     constexpr AgentCount eta = 21;
@@ -49,4 +49,7 @@ int main() {
                     result.parallel_time);
     }
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

@@ -71,8 +71,11 @@ void report(const char* name, const Protocol& protocol) {
 
 }  // namespace
 
-int main() {
+int main() try {
     report("buggy threshold-3 ", buggy_threshold3());
     report("fixed threshold-3 ", fixed_threshold3());
     return 0;
+} catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
 }

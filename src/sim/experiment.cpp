@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <filesystem>
 #include <functional>
 #include <optional>
 #include <thread>
 
 #include "protocols/double_exp_threshold.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/stats.hpp"
 
 namespace ppsc {
@@ -31,6 +33,12 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
     const std::uint64_t runs = options.runs_per_size;
     const std::size_t total_trials = populations.size() * static_cast<std::size_t>(runs);
 
+    const bool checkpointing = !options.checkpoint_dir.empty() && options.checkpoint_every != 0;
+    const std::uint64_t fingerprint = checkpointing ? protocol_fingerprint(protocol) : 0;
+    const auto stop_requested = [&options] {
+        return options.stop != nullptr && options.stop->load(std::memory_order_relaxed);
+    };
+
     // Every trial is fully determined by its (population, repetition) seed,
     // so trials can run in any order on any thread; results land in a
     // per-trial slot and are aggregated serially afterwards, keeping the
@@ -42,8 +50,48 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
         const std::uint64_t r = index % runs;
         // One independent stream per (size, repetition) pair.
         Rng rng(options.seed ^ (static_cast<std::uint64_t>(population) << 20) ^ r);
-        const SimulationResult result =
-            simulator.run_input(population, rng, options.simulation);
+        Config start = protocol.initial_config(population);
+        SimulationOptions simulation = options.simulation;
+        std::optional<CheckpointDir> dir;
+        if (checkpointing) {
+            // One rotation directory per trial; the trial's identity is in
+            // the directory name, so re-sweeping with different populations
+            // or repetition counts can never cross-resume trials.
+            const std::string slot =
+                "p" + std::to_string(population) + "-r" + std::to_string(r);
+            dir.emplace((std::filesystem::path(options.checkpoint_dir) / slot).string(),
+                        options.checkpoint_keep_last);
+            const CheckpointDir::Latest latest = dir->load_latest(fingerprint);
+            if (latest.checkpoint && latest.checkpoint->config.size() == start.size() &&
+                latest.checkpoint->config.num_states() == start.num_states()) {
+                start = latest.checkpoint->config;
+                rng.set_state(latest.checkpoint->rng_state);
+                simulation.initial_interactions = latest.checkpoint->interactions;
+            }
+            simulation.checkpoint.every = options.checkpoint_every;
+            simulation.checkpoint.callback = [&](const CheckpointTick& tick) {
+                Checkpoint snapshot;
+                snapshot.fingerprint = fingerprint;
+                snapshot.config = tick.config;
+                snapshot.rng_state = tick.rng_state;
+                snapshot.interactions = tick.interactions;
+                snapshot.fired = tick.fired;
+                dir->write(snapshot);
+                return !stop_requested();
+            };
+        }
+        const SimulationResult result = simulator.run(std::move(start), rng, simulation);
+        if (checkpointing) {
+            // Final snapshot: a later sweep restores the trial here — a
+            // finished trial re-reports its result without re-simulating,
+            // an interrupted one continues from this exact point.
+            Checkpoint snapshot;
+            snapshot.fingerprint = fingerprint;
+            snapshot.config = result.final_config;
+            snapshot.rng_state = rng.state();
+            snapshot.interactions = result.interactions;
+            dir->write(snapshot);
+        }
         trials[index] = {result.converged, result.parallel_time, result.output};
     };
 
@@ -54,7 +102,7 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
         std::min<std::size_t>(workers, std::max<std::size_t>(total_trials, 1)));
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < total_trials; ++i) run_trial(i);
+        for (std::size_t i = 0; i < total_trials && !stop_requested(); ++i) run_trial(i);
     } else {
         std::atomic<std::size_t> next{0};
         std::vector<std::exception_ptr> errors(workers);
@@ -63,8 +111,8 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
         for (unsigned w = 0; w < workers; ++w) {
             pool.emplace_back([&, w] {
                 try {
-                    for (std::size_t i = next.fetch_add(1); i < total_trials;
-                         i = next.fetch_add(1))
+                    for (std::size_t i = next.fetch_add(1);
+                         i < total_trials && !stop_requested(); i = next.fetch_add(1))
                         run_trial(i);
                 } catch (...) {
                     errors[w] = std::current_exception();

@@ -9,6 +9,7 @@
 // `parallelism` setting, including the serial path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -41,6 +42,25 @@ struct ConvergenceSweepOptions {
     /// the CI leg that asserts exactly that.  The worklist is what makes
     /// convergence (not just throughput) sweeps feasible at |Q| ≥ 10⁵.
     TrapCompute trap_compute = TrapCompute::worklist;
+    /// Per-trial crash-safe checkpointing (sim/checkpoint.hpp): when
+    /// `checkpoint_dir` is set and `checkpoint_every` > 0, every trial
+    /// writes rotated snapshots into
+    /// `<checkpoint_dir>/p<population>-r<repetition>/` every ≥
+    /// checkpoint_every interactions, and a later sweep with the same
+    /// protocol and options resumes each trial from its newest valid
+    /// snapshot instead of replaying it — finished trials restore their
+    /// final state and complete immediately.  Per-trial results (and
+    /// therefore the rows) are identical to an uninterrupted sweep.
+    std::string checkpoint_dir;
+    std::uint64_t checkpoint_every = 0;
+    std::size_t checkpoint_keep_last = 3;
+    /// Graceful shutdown: when *stop becomes true (e.g. from a
+    /// SIGTERM/SIGINT handler — std::atomic<bool> is async-signal-safe to
+    /// store to), workers stop claiming new trials and in-flight trials
+    /// stop at their next checkpoint boundary, each writing a final
+    /// snapshot.  The sweep then returns normally; interrupted trials
+    /// count as unconverged in the rows and resume on the next sweep.
+    const std::atomic<bool>* stop = nullptr;
 };
 
 /// Runs `runs_per_size` seeded simulations of IC(i) for each population

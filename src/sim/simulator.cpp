@@ -392,9 +392,18 @@ std::pair<StateId, StateId> Simulator::sample_pair(const Config& config, Rng& rn
 
 template <typename W>
 std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions,
-                                        bool stop_when_stable) const {
+                                        bool stop_when_stable, const CheckpointHook* hook,
+                                        std::uint64_t* fired_count) const {
     StepContextT<W>& ctx = cached_context<W>(config);
     std::uint64_t done = 0;
+    std::uint64_t fired_total = 0;
+    // Hook cadence: the callback runs at the first fired-step boundary at or
+    // past each mark, never inside advance() — checkpointing cannot split a
+    // silent-skip draw, so the rng stream (and hence the trajectory) is the
+    // same with or without the hook, and a resumed run realigns on the same
+    // boundaries (next mark = snapshot interactions + every).
+    const bool hooked = hook != nullptr && hook->active();
+    std::uint64_t next_hook = hooked ? hook->every : 0;
     while (done < max_interactions) {
         // The O(1) stability probe (two counters + W); the silent case alone
         // is also caught by advance() below, budget-accounted.
@@ -403,19 +412,36 @@ std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng, std::uint64_t 
         const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
         done += consumed;
         if (!fired && consumed == 0) break;  // silent: no interaction can fire again
+        if (fired) {
+            ++fired_total;
+            if (hooked && done >= next_hook) {
+                // Publish the context before the callback: is_silent /
+                // is_provably_stable on `config` stay O(1) inside it.
+                ctx.version = config.version();
+                if (!hook->callback({config, rng.state(), done, fired_total})) break;
+                next_hook = done + hook->every;
+            }
+        }
     }
     ctx.version = config.version();
+    if (fired_count != nullptr) *fired_count = fired_total;
     return done;
 }
 
 std::uint64_t Simulator::run_batch(Config& config, Rng& rng, std::uint64_t max_interactions,
-                                   bool stop_when_stable) const {
+                                   bool stop_when_stable, const CheckpointHook* hook,
+                                   std::uint64_t* fired_count) const {
     // Populations of 0 or 1 agents have no ordered pairs (n(n−1) == 0):
     // no encounter can ever happen, so the batch is trivially complete.
-    if (config.size() < 2) return 0;
+    if (config.size() < 2) {
+        if (fired_count != nullptr) *fired_count = 0;
+        return 0;
+    }
     if (pairs_fit_int64(config.size()))
-        return run_batch_impl<std::int64_t>(config, rng, max_interactions, stop_when_stable);
-    return run_batch_impl<Int128>(config, rng, max_interactions, stop_when_stable);
+        return run_batch_impl<std::int64_t>(config, rng, max_interactions, stop_when_stable,
+                                            hook, fired_count);
+    return run_batch_impl<Int128>(config, rng, max_interactions, stop_when_stable, hook,
+                                  fired_count);
 }
 
 std::optional<TransitionId> Simulator::fired_step(Config& config, Rng& rng, std::uint64_t budget,
@@ -447,9 +473,15 @@ SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
     StepContextT<W> ctx;
     init_context(ctx, config);
 
-    std::uint64_t interactions = 0;
+    // Resume support: a run restored from a checkpoint starts its counter
+    // where the snapshot left off, so (config, rng state, interactions)
+    // evolves exactly as the uninterrupted run's tail.
+    std::uint64_t interactions = options.initial_interactions;
+    std::uint64_t fired_total = 0;
     bool converged = ctx.provably_stable();
 
+    const bool hooked = options.checkpoint.active();
+    std::uint64_t next_hook = hooked ? interactions + options.checkpoint.every : 0;
     while (!converged && interactions < options.max_interactions) {
         std::uint64_t consumed = 0;
         const auto fired =
@@ -459,7 +491,16 @@ SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
             if (consumed == 0) converged = true;  // silent
             continue;  // else: budget exhausted, loop condition exits
         }
+        ++fired_total;
         converged = ctx.provably_stable();
+        // Fired-step-boundary checkpointing (see CheckpointHook): the
+        // callback neither consumes randomness nor alters the trajectory.
+        // Skipped once converged — the final state is the caller's result.
+        if (hooked && !converged && interactions >= next_hook) {
+            if (!options.checkpoint.callback({config, rng.state(), interactions, fired_total}))
+                break;  // graceful stop: report the partial run as-is
+            next_hook = interactions + options.checkpoint.every;
+        }
     }
 
     SimulationResult result{std::move(config), interactions, converged, std::nullopt, 0.0};

@@ -77,6 +77,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -89,9 +90,44 @@
 
 namespace ppsc {
 
+/// One checkpointable moment of a trajectory, handed to CheckpointHook
+/// callbacks.  Everything a snapshot needs (sim/checkpoint.hpp): the
+/// current counts, the full Rng state, and the counters accumulated within
+/// the hook-bearing call (the caller adds its own resumed-from base).
+struct CheckpointTick {
+    const Config& config;
+    std::uint64_t rng_state = 0;
+    std::uint64_t interactions = 0;  ///< interactions executed in this call
+    std::uint64_t fired = 0;         ///< non-silent interactions in this call
+};
+
+/// Checkpoint-every-N-interactions hook for run()/run_batch().  The
+/// callback fires at the first *fired-step boundary* at or past each
+/// cadence mark — never mid-advance — so it neither consumes randomness
+/// nor cuts a geometric silent-skip short: trajectories are byte-identical
+/// per seed with the hook present, absent, or resumed from any snapshot
+/// the hook wrote.  Returning false stops the run after the current step
+/// (graceful shutdown); the interactions executed so far are reported as
+/// usual.
+struct CheckpointHook {
+    /// Minimum interactions between callbacks (0 disables the hook).
+    std::uint64_t every = 0;
+    std::function<bool(const CheckpointTick&)> callback;
+
+    bool active() const noexcept { return every != 0 && callback != nullptr; }
+};
+
 struct SimulationOptions {
     /// Hard cap on interactions before giving up.
     std::uint64_t max_interactions = 50'000'000;
+    /// Resume support: interactions already executed before this call (a
+    /// restored checkpoint).  Counted against max_interactions and included
+    /// in the reported totals, so resuming a run at its checkpoint replays
+    /// the uninterrupted run's tail byte-identically.
+    std::uint64_t initial_interactions = 0;
+    /// Periodic checkpointing along the run (tick interactions are absolute,
+    /// i.e. include initial_interactions; tick fired counts this call).
+    CheckpointHook checkpoint;
 };
 
 struct SimulationResult {
@@ -151,10 +187,16 @@ public:
     /// became silent (no transition can ever fire again) or, with
     /// `stop_when_stable`, provably stable (is_provably_stable — an O(1)
     /// counter read per fired interaction; the trajectory up to the stop is
-    /// unchanged).  Populations of 0 or 1 agents have no pairs and return 0
-    /// cleanly.  Not thread-safe.
+    /// unchanged) or a checkpoint callback requested a stop.  Populations of
+    /// 0 or 1 agents have no pairs and return 0 cleanly.  `hook`, when
+    /// active, is invoked at fired-step boundaries every ≥ hook->every
+    /// interactions (see CheckpointHook — the trajectory is unchanged by
+    /// it); `fired_count`, when non-null, receives the number of non-silent
+    /// interactions executed by this call.  Not thread-safe.
     std::uint64_t run_batch(Config& config, Rng& rng, std::uint64_t max_interactions,
-                            bool stop_when_stable = false) const;
+                            bool stop_when_stable = false,
+                            const CheckpointHook* hook = nullptr,
+                            std::uint64_t* fired_count = nullptr) const;
 
     /// Advances the chain to its next *fired* interaction: consumes the
     /// (geometrically distributed) run of silent encounters, then fires one
@@ -286,7 +328,8 @@ private:
     SimulationResult run_impl(Config&& config, Rng& rng, const SimulationOptions& options) const;
     template <typename W>
     std::uint64_t run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions,
-                                 bool stop_when_stable) const;
+                                 bool stop_when_stable, const CheckpointHook* hook,
+                                 std::uint64_t* fired_count) const;
 
     // Owned copy: simulators are long-lived; never dangle on a temporary.
     Protocol protocol_;

@@ -30,6 +30,26 @@ public:
     double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
     double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
 
+    /// Welford's second moment — exposed (with the raw min/max, sentinel
+    /// infinities included) so a checkpoint can carry the accumulator and
+    /// restore() can resume it exactly (sim/checkpoint.hpp).
+    double m2() const noexcept { return m2_; }
+    double raw_min() const noexcept { return min_; }
+    double raw_max() const noexcept { return max_; }
+
+    /// Rebuilds an accumulator from the five raw fields; the restored
+    /// object continues the original add() sequence bit-identically.
+    static RunningStats restore(std::uint64_t count, double mean, double m2, double raw_min,
+                                double raw_max) noexcept {
+        RunningStats stats;
+        stats.count_ = count;
+        stats.mean_ = mean;
+        stats.m2_ = m2;
+        stats.min_ = raw_min;
+        stats.max_ = raw_max;
+        return stats;
+    }
+
 private:
     std::uint64_t count_ = 0;
     double mean_ = 0.0;

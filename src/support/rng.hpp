@@ -79,6 +79,15 @@ public:
     /// True with probability p (0 ≤ p ≤ 1).
     bool bernoulli(double p) noexcept { return uniform() < p; }
 
+    /// The full generator state — SplitMix64's state is one word, so a
+    /// checkpoint carrying this value resumes the stream exactly where it
+    /// left off (sim/checkpoint.hpp).
+    std::uint64_t state() const noexcept { return state_; }
+
+    /// Restores a state captured by state(): the next draw continues the
+    /// original stream byte-identically.
+    void set_state(std::uint64_t state) noexcept { state_ = state; }
+
 private:
     std::uint64_t state_;
 };

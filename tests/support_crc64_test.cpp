@@ -1,0 +1,41 @@
+// Tests for the CRC-64/XZ implementation backing the checkpoint trailer.
+#include "support/crc64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace ppsc {
+namespace {
+
+TEST(Crc64, CheckValue) {
+    // The CRC-64/XZ check value: crc of the ASCII string "123456789".
+    const char* input = "123456789";
+    EXPECT_EQ(crc64(input, std::strlen(input)), 0x995DC9BBDF1939FAull);
+}
+
+TEST(Crc64, EmptyInputIsZero) { EXPECT_EQ(crc64(nullptr, 0), 0u); }
+
+TEST(Crc64, ChunkedEqualsWhole) {
+    const std::string data = "population protocols compute predicates";
+    const std::uint64_t whole = crc64(data.data(), data.size());
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        const std::uint64_t first = crc64(data.data(), split);
+        const std::uint64_t chained = crc64(data.data() + split, data.size() - split, first);
+        EXPECT_EQ(chained, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc64, DetectsEverySingleBitFlip) {
+    std::string data = "checkpoint trailer";
+    const std::uint64_t reference = crc64(data.data(), data.size());
+    for (std::size_t bit = 0; bit < data.size() * 8; ++bit) {
+        data[bit / 8] ^= static_cast<char>(1 << (bit % 8));
+        EXPECT_NE(crc64(data.data(), data.size()), reference) << "bit " << bit;
+        data[bit / 8] ^= static_cast<char>(1 << (bit % 8));
+    }
+}
+
+}  // namespace
+}  // namespace ppsc
