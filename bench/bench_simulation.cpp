@@ -18,17 +18,23 @@
 //                  smoke entry point.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <vector>
 
+#include "bounds/pumping.hpp"
+#include "diophantine/realisable.hpp"
 #include "protocols/double_exp_threshold.hpp"
 #include "protocols/threshold.hpp"
+#include "search/busy_beaver.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/experiment.hpp"
 #include "sim/simulator.hpp"
 #include "sim/traps.hpp"
+#include "stable/stable_sets.hpp"
 #include "verify/verifier.hpp"
 
 using namespace ppsc;
@@ -413,6 +419,118 @@ void BM_ExhaustiveVerification(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveVerification)->Arg(6)->Arg(10)->Arg(14);
 
+// --- Analysis stack (PR 6) --------------------------------------------------
+
+// Backward closure over a materialised slice: the round-structured worklist
+// on the flat reverse CSR against the seed-era per-node-vector reverse BFS.
+// The slice (unary_threshold(4), population = state.range(0)) has
+// C(pop + 4, 4) nodes; the seed set is Bad_1, the stable-set use.
+void backward_closure_bench(benchmark::State& state, ClosureCompute compute) {
+    const Protocol protocol = protocols::unary_threshold(4);
+    const auto population = static_cast<AgentCount>(state.range(0));
+    const ReachabilityGraph graph = ReachabilityGraph::full_slice(protocol, population, {});
+    std::vector<bool> bad(graph.num_nodes(), false);
+    for (std::size_t node = 0; node < graph.num_nodes(); ++node)
+        bad[node] = protocol.consensus_output(graph.config(static_cast<NodeId>(node))) != 1;
+    for (auto _ : state) {
+        const std::vector<bool> closure = graph.backward_closure(bad, compute);
+        benchmark::DoNotOptimize(closure);
+    }
+    state.SetLabel("nodes=" + std::to_string(graph.num_nodes()));
+}
+void BM_BackwardClosureSparse(benchmark::State& state) {
+    backward_closure_bench(state, ClosureCompute::sparse);
+}
+void BM_BackwardClosureReference(benchmark::State& state) {
+    backward_closure_bench(state, ClosureCompute::reference);
+}
+BENCHMARK(BM_BackwardClosureSparse)->Arg(10)->Arg(14);
+BENCHMARK(BM_BackwardClosureReference)->Arg(10)->Arg(14);
+
+// The full stable-set pipeline (slice construction: sparse successor
+// enumeration vs. dense support² probing, plus both closure backends) on
+// the E11 tower base.
+void stable_flags_bench(benchmark::State& state, ClosureCompute compute) {
+    const Protocol protocol = protocols::double_exp_threshold(2);
+    const auto max_population = static_cast<AgentCount>(state.range(0));
+    for (auto _ : state) {
+        const StableAnalysis analysis(protocol, max_population, {}, compute);
+        benchmark::DoNotOptimize(analysis.stable_counts(1));
+    }
+}
+void BM_StableFlagsSparse(benchmark::State& state) {
+    stable_flags_bench(state, ClosureCompute::sparse);
+}
+void BM_StableFlagsReference(benchmark::State& state) {
+    stable_flags_bench(state, ClosureCompute::reference);
+}
+BENCHMARK(BM_StableFlagsSparse)->Arg(6)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StableFlagsReference)->Arg(6)->Unit(benchmark::kMillisecond);
+
+// Corollary 5.7 basis computation: incremental-residual completion + O(|T|)
+// scatter row assembly against the recompute-everything reference.
+void realisable_basis_bench(benchmark::State& state, HilbertCompute compute) {
+    const Protocol protocol = protocols::collector_threshold(static_cast<AgentCount>(state.range(0)));
+    HilbertOptions options;
+    options.compute = compute;
+    for (auto _ : state) {
+        const RealisableBasis basis = realisable_multiset_basis(protocol, options);
+        benchmark::DoNotOptimize(basis.elements);
+    }
+}
+void BM_RealisableBasisSparse(benchmark::State& state) {
+    realisable_basis_bench(state, HilbertCompute::sparse);
+}
+void BM_RealisableBasisReference(benchmark::State& state) {
+    realisable_basis_bench(state, HilbertCompute::reference);
+}
+BENCHMARK(BM_RealisableBasisSparse)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RealisableBasisReference)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// The two-phase busy-beaver sweep at n = 5 — a state count whose sampled
+// sweep was infeasible for the seed code (every candidate, oscillators
+// included, paid for exact reachability graphs on all inputs; screening
+// rejects most candidates after a few thousand simulated interactions).
+// Items = candidates processed; the screened_out counter reports how much
+// of the sample the fast path absorbed.
+void busy_beaver_sweep_bench(benchmark::State& state, bool screen) {
+    search::SearchOptions options;
+    // The horizon is where the cost asymmetry lives: exact verification
+    // explores C(i + n − 1, n − 1)-node graphs for every input i up to 24,
+    // screening simulates about a thousand interactions on populations ≤ 24.
+    options.max_input = 24;
+    options.sample_limit = 64;
+    options.max_nodes_per_graph = 60'000;  // blown-budget candidates skip fast
+    options.screen = screen;
+    // Populations ≤ 16 that converge at all do so within a few hundred
+    // interactions; one short run per input keeps the phase-1 cost of the
+    // never-converging majority near zero.
+    options.screening.runs = 1;
+    options.screening.max_interactions = 1'000;
+    options.screening.max_inconclusive_inputs = 2;
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::uint64_t screened_out = 0;
+    std::uint64_t candidates = 0;
+    for (auto _ : state) {
+        options.seed = 0xbeefcafe + candidates;  // fresh sample per iteration
+        const auto outcome = search::busy_beaver_search(n, options);
+        screened_out += outcome.screened_out;
+        candidates += outcome.enumerated;
+        benchmark::DoNotOptimize(outcome.best_eta);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(candidates));
+    state.counters["screened_out"] =
+        candidates > 0 ? static_cast<double>(screened_out) / static_cast<double>(candidates) : 0;
+}
+void BM_BusyBeaverSweepScreened(benchmark::State& state) {
+    busy_beaver_sweep_bench(state, true);
+}
+void BM_BusyBeaverSweepExact(benchmark::State& state) {
+    busy_beaver_sweep_bench(state, false);
+}
+BENCHMARK(BM_BusyBeaverSweepScreened)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BusyBeaverSweepExact)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
 // Tiny end-to-end run of the E11 workload: the family must decide its
 // predicate in randomized simulation, and both fired-step selection paths
 // must complete their interaction budget.  Exits non-zero on any failure so
@@ -545,11 +663,131 @@ int run_e11_smoke() {
     return ok ? 0 : 1;
 }
 
+// Analysis-stack smoke (PR 6): every ported layer run under both the sparse
+// default and the forced dense reference on E11-family members, asserting
+// result identity end to end.  Exits non-zero on any disagreement — the CI
+// entry point for the verification stack (the deep sweeps live in
+// tests/analysis_sparse_test.cpp).
+int run_analysis_smoke() {
+    bool ok = true;
+    const auto check = [&ok](bool condition, const char* what) {
+        std::printf("  %-60s %s\n", what, condition ? "ok" : "FAIL");
+        ok = ok && condition;
+    };
+    const auto options_for = [](ClosureCompute compute) {
+        ReachabilityOptions options;
+        options.compute = compute;
+        return options;
+    };
+
+    std::printf("analysis smoke: reachability slices, sparse vs reference\n");
+    {
+        const Protocol p = protocols::double_exp_threshold(2);
+        const ReachabilityGraph sparse =
+            ReachabilityGraph::full_slice(p, 4, options_for(ClosureCompute::sparse));
+        const ReachabilityGraph reference =
+            ReachabilityGraph::full_slice(p, 4, options_for(ClosureCompute::reference));
+        bool identical = sparse.num_nodes() == reference.num_nodes() &&
+                         sparse.num_edges() == reference.num_edges();
+        for (std::size_t node = 0; identical && node < sparse.num_nodes(); ++node) {
+            const auto id = static_cast<NodeId>(node);
+            const auto a = sparse.successors(id);
+            const auto b = reference.successors(id);
+            identical = sparse.config(id) == reference.config(id) &&
+                        std::equal(a.begin(), a.end(), b.begin(), b.end());
+        }
+        check(identical, "double_exp(2) population-4 slice identical");
+
+        std::vector<bool> bad(sparse.num_nodes(), false);
+        for (std::size_t node = 0; node < sparse.num_nodes(); ++node)
+            bad[node] = p.consensus_output(sparse.config(static_cast<NodeId>(node))) != 1;
+        check(sparse.backward_closure(bad, ClosureCompute::sparse) ==
+                  sparse.backward_closure(bad, ClosureCompute::reference),
+              "backward closure of Bad_1 identical");
+    }
+    std::printf("analysis smoke: stable sets\n");
+    {
+        const Protocol p = protocols::double_exp_threshold(2);
+        const StableAnalysis sparse(p, 4, {}, ClosureCompute::sparse);
+        const StableAnalysis reference(p, 4, {}, ClosureCompute::reference);
+        bool identical = true;
+        for (AgentCount population = 2; population <= 4; ++population)
+            for (int b = 0; b < 2; ++b)
+                identical = identical && sparse.stable_configs(population, b) ==
+                                             reference.stable_configs(population, b);
+        check(identical, "double_exp(2) stable sets identical on sizes 2..4");
+    }
+    std::printf("analysis smoke: verifier verdicts and two-phase threshold\n");
+    {
+        const Protocol p = protocols::unary_threshold(3);
+        const Verifier sparse(p, options_for(ClosureCompute::sparse));
+        const Verifier reference(p, options_for(ClosureCompute::reference));
+        bool identical = true;
+        for (AgentCount i = 2; i <= 8; ++i) {
+            const InputVerdict a = sparse.verify_input(i);
+            const InputVerdict b = reference.verify_input(i);
+            identical = identical && a.well_specified == b.well_specified &&
+                        a.computed == b.computed && a.explored_nodes == b.explored_nodes;
+        }
+        check(identical, "unary_threshold(3) verdicts identical on inputs 2..8");
+        check(sparse.infer_threshold(8) == AgentCount{3}, "exact threshold is 3");
+        ScreeningOptions screening;
+        screening.max_interactions = 4'000;
+        check(sparse.infer_threshold(8, screening) == sparse.infer_threshold(8),
+              "two-phase threshold identical to exact");
+    }
+    std::printf("analysis smoke: diophantine bases\n");
+    {
+        for (const AgentCount eta : {AgentCount{2}, AgentCount{3}}) {
+            const Protocol p = protocols::collector_threshold(eta);
+            HilbertOptions sparse, reference;
+            sparse.compute = HilbertCompute::sparse;
+            reference.compute = HilbertCompute::reference;
+            const RealisableBasis a = realisable_multiset_basis(p, sparse);
+            const RealisableBasis b = realisable_multiset_basis(p, reference);
+            char what[96];
+            std::snprintf(what, sizeof what, "collector(%lld) realisable basis identical",
+                          static_cast<long long>(eta));
+            check(a.elements == b.elements && a.inputs == b.inputs && a.results == b.results,
+                  what);
+        }
+    }
+    std::printf("analysis smoke: pumping selections\n");
+    {
+        const Protocol p = protocols::unary_threshold(3);
+        bool identical = true;
+        for (AgentCount input = 2; input <= 6; ++input)
+            identical = identical &&
+                        bounds::stable_configuration_for_input(p, input, {},
+                                                               ClosureCompute::sparse) ==
+                            bounds::stable_configuration_for_input(p, input, {},
+                                                                   ClosureCompute::reference);
+        check(identical, "unary_threshold(3) stable configurations identical");
+    }
+    std::printf("analysis smoke: screened busy-beaver sweep\n");
+    {
+        search::SearchOptions exact;
+        exact.max_input = 6;
+        search::SearchOptions screened = exact;
+        screened.screen = true;
+        screened.screening.max_interactions = 2'000;
+        const auto a = search::busy_beaver_search(2, exact);
+        const auto b = search::busy_beaver_search(2, screened);
+        check(a.best_eta == b.best_eta && a.threshold_protocols == b.threshold_protocols &&
+                  a.eta_histogram == b.eta_histogram,
+              "screened n=2 sweep result-identical to exact");
+        check(b.screened_out > 0, "screening absorbed some candidates");
+    }
+    std::printf("analysis smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--e11-smoke") == 0) return run_e11_smoke();
+        if (std::strcmp(argv[i], "--analysis-smoke") == 0) return run_analysis_smoke();
     }
     benchmark::Initialize(&argc, argv);
     bool skip_sweeps = false;

@@ -93,6 +93,18 @@ BusyBeaverLower busy_beaver_lower(std::size_t n) {
     return lower;
 }
 
+BusyBeaverBracket busy_beaver_bracket(std::size_t n, AgentCount empirical_eta) {
+    BusyBeaverBracket bracket;
+    bracket.n = n;
+    bracket.empirical_eta = empirical_eta;
+    bracket.construction_lower = busy_beaver_lower(n).best();
+    bracket.upper = theta(n);
+    bracket.reaches_construction = empirical_eta >= bracket.construction_lower;
+    bracket.below_upper = bracket.upper.is_infinite() ||
+                          !(LogNum::from_u64(empirical_eta) > bracket.upper);
+    return bracket;
+}
+
 LogNum bbl_lower(std::size_t n) {
     // Ω(2^(2^n)) from [12]; for n ≥ ~60 even the exponent leaves u64.
     return LogNum::power_of_two(BigNat::power_of_two(n));

@@ -81,6 +81,25 @@ BusyBeaverLower busy_beaver_lower(std::size_t n);
 /// [12], as a LogNum.
 LogNum bbl_lower(std::size_t n);
 
+/// An empirical BB(n) measurement (search/busy_beaver.hpp) placed between
+/// the paper's two sides: the constructive lower bound of Theorem 2.2 and
+/// the 2^((2n+2)!) upper bound of Theorem 5.9.  Consistency demands
+/// construction_lower ≤ empirical_eta ≤ upper whenever the search was
+/// exhaustive; `reaches_construction` flags searches that found (at least)
+/// the constructive witness, `below_upper` that the measurement respects
+/// Theorem 5.9.
+struct BusyBeaverBracket {
+    std::size_t n = 0;
+    AgentCount empirical_eta = 0;      ///< measured best η
+    AgentCount construction_lower = 0; ///< busy_beaver_lower(n).best()
+    LogNum upper;                      ///< ϑ(n) = 2^((2n+2)!)
+    bool reaches_construction = false; ///< empirical_eta ≥ construction_lower
+    bool below_upper = false;          ///< empirical_eta ≤ upper
+};
+
+/// Brackets a measured busy-beaver value between the paper's bounds. n ≥ 2.
+BusyBeaverBracket busy_beaver_bracket(std::size_t n, AgentCount empirical_eta);
+
 /// Human-readable statement of the Theorem 4.5 upper bound for BBL(n).
 std::string bbl_upper_description(std::size_t n, std::size_t leaders);
 

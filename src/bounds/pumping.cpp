@@ -29,13 +29,45 @@ std::optional<int> component_consensus(const ReachabilityGraph& graph,
 }  // namespace
 
 std::optional<Config> stable_configuration_for_input(const Protocol& protocol, AgentCount input,
-                                                     const ReachabilityOptions& options) {
+                                                     const ReachabilityOptions& options,
+                                                     ClosureCompute compute) {
     const Config roots[] = {protocol.initial_config(input)};
     const ReachabilityGraph graph = ReachabilityGraph::explore(protocol, roots, options);
     const auto scc = graph.compute_sccs();
 
     // Deterministic choice: the least component id that is a consensus
     // bottom SCC, then the lexicographically least member configuration.
+    if (compute == ClosureCompute::sparse) {
+        // One pass over the nodes aggregates, per bottom component, both
+        // the consensus verdict (2 = no member seen, −1 = mixed or
+        // non-consensus, 0/1 = agreed so far) and the lexicographically
+        // least member — instead of the reference's per-component rescans,
+        // which are Θ(components · nodes) on graphs with many bottom SCCs.
+        constexpr NodeId kNoNode = -1;
+        std::vector<std::int8_t> value(static_cast<std::size_t>(scc.num_components), 2);
+        std::vector<NodeId> least(static_cast<std::size_t>(scc.num_components), kNoNode);
+        for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
+            const auto component = static_cast<std::size_t>(scc.component_of[node]);
+            if (!scc.is_bottom[component]) continue;
+            const Config& config = graph.config(static_cast<NodeId>(node));
+            const std::optional<int> member = graph.protocol().consensus_output(config);
+            const std::int8_t v = member ? static_cast<std::int8_t>(*member) : std::int8_t{-1};
+            if (value[component] == 2)
+                value[component] = v;
+            else if (value[component] != v)
+                value[component] = -1;
+            if (least[component] == kNoNode ||
+                config.counts() < graph.config(least[component]).counts())
+                least[component] = static_cast<NodeId>(node);
+        }
+        for (std::int32_t component = 0; component < scc.num_components; ++component) {
+            const auto c = static_cast<std::size_t>(component);
+            if (!scc.is_bottom[c] || value[c] < 0 || value[c] == 2) continue;
+            return graph.config(least[c]);
+        }
+        return std::nullopt;
+    }
+
     for (std::int32_t component = 0; component < scc.num_components; ++component) {
         if (!scc.is_bottom[static_cast<std::size_t>(component)]) continue;
         if (!component_consensus(graph, scc, component)) continue;
@@ -62,7 +94,8 @@ std::optional<PumpingCertificate> find_pumping_certificate(const Protocol& proto
                                  ? 2
                                  : std::max<AgentCount>(0, 2 - protocol.leaders().size());
     for (AgentCount i = start; i <= options.max_input; ++i) {
-        const auto stable = stable_configuration_for_input(protocol, i, options.reachability);
+        const auto stable =
+            stable_configuration_for_input(protocol, i, options.reachability, options.compute);
         if (stable) stable_sequence.emplace_back(i, *stable);
     }
 
@@ -97,8 +130,8 @@ std::optional<PumpingCertificate> find_pumping_certificate(const Protocol& proto
             bool verified = true;
             for (AgentCount lambda = 1; lambda <= lambdas && verified; ++lambda) {
                 const AgentCount pumped = i + lambda * period;
-                const auto stable =
-                    stable_configuration_for_input(protocol, pumped, options.reachability);
+                const auto stable = stable_configuration_for_input(
+                    protocol, pumped, options.reachability, options.compute);
                 if (!stable || protocol.consensus_output(*stable) != *verdict_low)
                     verified = false;
             }

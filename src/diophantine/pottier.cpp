@@ -85,20 +85,34 @@ std::vector<Vec> hilbert_basis_equalities(const HomogeneousSystem& system,
         column[j] = residual(system, unit);
     }
 
+    const bool incremental = options.compute == HilbertCompute::sparse;
+
     std::vector<Vec> basis;
     std::vector<Vec> frontier;
+    // Sparse backend: residuals[k] = A·frontier[k], carried along instead of
+    // recomputed.  A unit vector's residual is its column image, and a
+    // child's residual is r + A·e_j — one Θ(e) column add per candidate
+    // instead of the reference's Θ(e·v) recomputation per examination.  The
+    // arithmetic is exact either way, so the frontier — and the basis — are
+    // identical.
+    std::vector<Vec> residuals;
     std::unordered_set<Vec, VecHash> seen;
     for (std::size_t j = 0; j < v; ++j) {
         Vec unit(v, 0);
         unit[j] = 1;
         frontier.push_back(unit);
+        if (incremental) residuals.push_back(column[j]);
         seen.insert(std::move(unit));
     }
 
+    Vec recomputed;
     while (!frontier.empty()) {
         std::vector<Vec> next;
-        for (const Vec& t : frontier) {
-            const Vec r = residual(system, t);
+        std::vector<Vec> next_residuals;
+        for (std::size_t k = 0; k < frontier.size(); ++k) {
+            const Vec& t = frontier[k];
+            if (!incremental) recomputed = residual(system, t);
+            const Vec& r = incremental ? residuals[k] : recomputed;
             if (is_zero(r)) {
                 // Minimal by construction: any smaller solution would have
                 // pruned t before it entered the frontier.
@@ -122,12 +136,21 @@ std::vector<Vec> hilbert_basis_equalities(const HomogeneousSystem& system,
                     }
                 }
                 if (dominated) continue;
-                if (seen.insert(candidate).second) next.push_back(std::move(candidate));
+                if (seen.insert(candidate).second) {
+                    if (incremental) {
+                        Vec child_residual = r;
+                        for (std::size_t i = 0; i < child_residual.size(); ++i)
+                            child_residual[i] += column[j][i];
+                        next_residuals.push_back(std::move(child_residual));
+                    }
+                    next.push_back(std::move(candidate));
+                }
             }
         }
         if (seen.size() > options.max_frontier)
             throw std::length_error("hilbert_basis_equalities: frontier budget exhausted");
         frontier = std::move(next);
+        residuals = std::move(next_residuals);
     }
 
     // The breadth-first order guarantees minimal solutions are found before

@@ -1,13 +1,14 @@
 #include "search/busy_beaver.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <stdexcept>
 
 #include "support/check.hpp"
 #include "support/rng.hpp"
-#include "verify/verifier.hpp"
 
 namespace ppsc::search {
 
@@ -28,13 +29,24 @@ std::size_t pair_index(std::size_t p, std::size_t q) {
     return q * (q + 1) / 2 + p;
 }
 
-/// Decodes a pair index back to (p, q) with p <= q.
+/// Decodes a pair index back to (p, q) with p <= q.  Closed-form inverse of
+/// the triangular layout k = q(q+1)/2 + p: q = ⌊(√(8k+1) − 1)/2⌋, computed
+/// in floating point and corrected by at most one step either way (the
+/// sqrt can land a hair off for k near a triangular number; the index
+/// range here — uint16 table entries — is far inside double's exact-integer
+/// window, so one correction step suffices).  The seed-era decoder scanned
+/// rows linearly, an O(n) cost paid inside every permutation of every
+/// candidate's canonicity check.
 std::pair<std::size_t, std::size_t> pair_of_index(std::size_t index, std::size_t n) {
-    for (std::size_t q = 0; q < n; ++q) {
-        const std::size_t base = q * (q + 1) / 2;
-        if (index < base + q + 1) return {index - base, q};
-    }
-    PPSC_CHECK(false);
+    std::size_t q = static_cast<std::size_t>(
+        (std::sqrt(8.0 * static_cast<double>(index) + 1.0) - 1.0) / 2.0);
+    while (q * (q + 1) / 2 > index) --q;
+    while ((q + 1) * (q + 2) / 2 <= index) ++q;
+    const std::size_t p = index - q * (q + 1) / 2;
+    PPSC_DASSERT(p <= q);
+    PPSC_DASSERT(q < n);
+    (void)n;
+    return {p, q};
 }
 
 /// Applies a state permutation to an encoding (perm[q] = new name of q).
@@ -96,6 +108,12 @@ Protocol build_protocol(const Encoding& encoding) {
 SearchOutcome busy_beaver_search(std::size_t n, const SearchOptions& options) {
     if (n < 2) throw std::invalid_argument("busy_beaver_search: n must be >= 2");
     const std::size_t num_pairs = n * (n + 1) / 2;
+    // Encoding capacity guards: the output mask is a uint32 bitmask indexed
+    // by state (enumeration shifts 1u << n), and table entries are uint16
+    // pair indices.  Both hold with astronomic slack for any enumerable n,
+    // but the limits are structural, so enforce rather than assume them.
+    PPSC_CHECK_MSG(n < 32, "busy_beaver_search: output bitmask is 32 bits wide");
+    PPSC_CHECK(num_pairs <= std::numeric_limits<std::uint16_t>::max());
     if (n > 3 && options.sample_limit == 0)
         throw std::invalid_argument(
             "busy_beaver_search: exhaustive search beyond n = 3 is infeasible; set "
@@ -116,6 +134,14 @@ SearchOutcome busy_beaver_search(std::size_t n, const SearchOptions& options) {
         ++outcome.canonical;
         const Protocol protocol = build_protocol(encoding);
         const Verifier verifier(protocol, reach);
+        // Phase 1 (optional): cheap randomized falsification.  Sound — a
+        // refuted candidate's exact infer_threshold is guaranteed nullopt
+        // (verify/verifier.hpp), so skipping it changes nothing but cost.
+        if (options.screen &&
+            verifier.screening_refutes_threshold(options.max_input, options.screening)) {
+            ++outcome.screened_out;
+            return;
+        }
         std::optional<AgentCount> eta;
         try {
             eta = verifier.infer_threshold(options.max_input);

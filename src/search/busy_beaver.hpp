@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "verify/verifier.hpp"
 
 namespace ppsc::search {
 
@@ -35,6 +36,15 @@ struct SearchOptions {
     /// candidates (needed from n = 4 up, where the space has 10^10 tables).
     std::uint64_t sample_limit = 0;
     std::uint64_t seed = 0xbeefcafe;
+    /// Two-phase mode (PR 6): screen each canonical candidate on the
+    /// simulation fast path first and build reachability graphs only for
+    /// survivors.  Screening is sound falsification (see verify/verifier.hpp)
+    /// so the reported thresholds, histogram, and witness are identical to a
+    /// screen-free run; only the cost profile changes.  This is what makes
+    /// sampled sweeps feasible at state counts whose dense per-candidate
+    /// verification was the bottleneck.
+    bool screen = false;
+    ScreeningOptions screening;
 };
 
 struct SearchOutcome {
@@ -43,6 +53,7 @@ struct SearchOutcome {
     std::uint64_t canonical = 0;           ///< survivors of symmetry reduction
     std::uint64_t threshold_protocols = 0; ///< verified threshold behaviours
     std::uint64_t budget_skipped = 0;      ///< skipped on verification budget
+    std::uint64_t screened_out = 0;        ///< refuted by simulation screening
     AgentCount best_eta = 0;               ///< empirical BB(n)
     std::string best_protocol_text;        ///< description of a witness
     /// histogram[η] = number of canonical protocols computing x ≥ η.

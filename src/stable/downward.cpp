@@ -19,8 +19,10 @@ DownwardClosedSet DownwardClosedSet::closure_of(const Config& config) {
 
 bool DownwardClosedSet::element_contains(const BasisElement& element, const Config& config) {
     if (config.num_states() != element.base.num_states()) return false;
-    for (std::size_t q = 0; q < config.num_states(); ++q) {
-        const auto state = static_cast<StateId>(q);
+    // Containment can only fail on states the configuration occupies, so
+    // the check walks its sparse support instead of every state in 0..|Q|
+    // (empty states trivially satisfy 0 ≤ base + pump).
+    for (const StateId state : config.support()) {
         if (config[state] <= element.base[state]) continue;
         // Excess in a non-pumpable direction breaks containment.
         if (!std::binary_search(element.pump.begin(), element.pump.end(), state)) return false;

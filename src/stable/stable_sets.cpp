@@ -14,53 +14,63 @@ AgentCount BasisElement::norm() const noexcept {
 }
 
 StableAnalysis::StableAnalysis(const Protocol& protocol, AgentCount max_population,
-                               ReachabilityOptions options)
-    : protocol_(protocol), max_population_(max_population) {
+                               ReachabilityOptions options, ClosureCompute compute)
+    : protocol_(protocol), max_population_(max_population), options_(options),
+      compute_(compute) {
     if (max_population < 2)
         throw std::invalid_argument("StableAnalysis: max_population must be >= 2");
+    // Successor enumeration inside the slices follows the analysis-wide
+    // compute kind, whatever the caller left in `options`.
+    options_.compute = compute_;
+}
 
-    for (AgentCount population = 2; population <= max_population; ++population) {
-        // Build against the owned copy so the graphs' protocol pointer
-        // stays valid for the analysis' lifetime.
-        ReachabilityGraph graph = ReachabilityGraph::full_slice(protocol_, population, options);
+void StableAnalysis::ensure_slice(AgentCount population) const {
+    if (population < 2 || population > max_population_)
+        throw std::invalid_argument("StableAnalysis: population size out of computed range");
+    if (slices_.contains(population)) return;
 
-        // Bad_b = configurations with an agent whose output is not b.
-        std::vector<bool> bad[2];
-        for (int b = 0; b < 2; ++b) bad[b].assign(graph.num_nodes(), false);
-        for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
-            const Config& config = graph.config(static_cast<NodeId>(node));
-            for (const StateId q : config.support()) {
-                bad[1 - protocol_.output(q)][node] = true;
-            }
+    // Build against the owned copy so the graphs' protocol pointer stays
+    // valid for the analysis' lifetime.
+    ReachabilityGraph graph = ReachabilityGraph::full_slice(protocol_, population, options_);
+
+    // Bad_b = configurations with an agent whose output is not b — read off
+    // each node's sparse support, never a 0..|Q| scan.
+    std::vector<bool> bad[2];
+    for (int b = 0; b < 2; ++b) bad[b].assign(graph.num_nodes(), false);
+    for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
+        const Config& config = graph.config(static_cast<NodeId>(node));
+        for (const StateId q : config.support()) {
+            bad[1 - protocol_.output(q)][node] = true;
         }
-
-        std::vector<Stability> slice_flags(graph.num_nodes(), Stability::kNeither);
-        for (int b = 0; b < 2; ++b) {
-            const std::vector<bool> can_reach_bad = graph.backward_closure(bad[b]);
-            for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
-                if (!can_reach_bad[node]) {
-                    PPSC_CHECK(slice_flags[node] == Stability::kNeither);
-                    slice_flags[node] = b == 0 ? Stability::kStable0 : Stability::kStable1;
-                }
-            }
-        }
-        flags_.emplace(population, std::move(slice_flags));
-        slices_.emplace(population, std::move(graph));
     }
+
+    std::vector<Stability> slice_flags(graph.num_nodes(), Stability::kNeither);
+    for (int b = 0; b < 2; ++b) {
+        const std::vector<bool> can_reach_bad = graph.backward_closure(bad[b], compute_);
+        for (std::size_t node = 0; node < graph.num_nodes(); ++node) {
+            if (!can_reach_bad[node]) {
+                PPSC_CHECK(slice_flags[node] == Stability::kNeither);
+                slice_flags[node] = b == 0 ? Stability::kStable0 : Stability::kStable1;
+            }
+        }
+    }
+    flags_.emplace(population, std::move(slice_flags));
+    slices_.emplace(population, std::move(graph));
+}
+
+void StableAnalysis::ensure_all_slices() const {
+    for (AgentCount population = 2; population <= max_population_; ++population)
+        ensure_slice(population);
 }
 
 const ReachabilityGraph& StableAnalysis::slice(AgentCount population) const {
-    auto it = slices_.find(population);
-    if (it == slices_.end())
-        throw std::invalid_argument("StableAnalysis: population size out of computed range");
-    return it->second;
+    ensure_slice(population);
+    return slices_.find(population)->second;
 }
 
 const std::vector<Stability>& StableAnalysis::flags(AgentCount population) const {
-    auto it = flags_.find(population);
-    if (it == flags_.end())
-        throw std::invalid_argument("StableAnalysis: population size out of computed range");
-    return it->second;
+    ensure_slice(population);
+    return flags_.find(population)->second;
 }
 
 Stability StableAnalysis::stability(const Config& config) const {
@@ -82,6 +92,7 @@ std::vector<Config> StableAnalysis::stable_configs(AgentCount population, int b)
 }
 
 std::vector<std::pair<AgentCount, std::size_t>> StableAnalysis::stable_counts(int b) const {
+    ensure_all_slices();
     std::vector<std::pair<AgentCount, std::size_t>> counts;
     const Stability wanted = b == 0 ? Stability::kStable0 : Stability::kStable1;
     for (const auto& [population, slice_flags] : flags_) {
@@ -93,6 +104,7 @@ std::vector<std::pair<AgentCount, std::size_t>> StableAnalysis::stable_counts(in
 }
 
 std::optional<Config> StableAnalysis::downward_closure_violation() const {
+    ensure_all_slices();
     for (const auto& [population, slice_flags] : flags_) {
         if (population <= 2) continue;
         const ReachabilityGraph& graph = slice(population);

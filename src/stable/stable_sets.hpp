@@ -7,7 +7,12 @@
 // Computation: transitions preserve population size, so within the size-N
 // slice C is b-stable iff C cannot reach Bad_b = { C' : some agent of C'
 // outputs ¬b } — one backward reachability from Bad_b per slice, then
-// complement.
+// complement.  Bad_b is seeded from the sparse support of each node (an
+// agent outside O⁻¹(b) is visible in the support), and the backward
+// reachability runs the ClosureCompute machinery of verify/reachability.hpp
+// — sparse reverse-CSR worklist by default, the seed-era dense formulation
+// as a swappable reference asserted identical in
+// tests/analysis_sparse_test.cpp.
 //
 // Lemma 3.1 says SC_b is downward closed; Lemma 3.2 says it has a basis
 // (B,S) — finitely many "seed plus pumpable directions" pieces — of norm at
@@ -42,15 +47,33 @@ struct BasisElement {
 };
 
 /// Exact stable sets for all population sizes 2..max_population.
+///
+/// Slices are computed *lazily*, on the first query that touches their
+/// population size (a stability() lookup, stable_configs(), or one of the
+/// all-slice reports below).  Memory bound: a materialised size-N slice
+/// holds its C(N + |Q| − 1, |Q| − 1) configurations, the successor lists,
+/// and one Stability byte per node — the total footprint is Σ over the
+/// populations actually touched, not over all of [2, max_population] as
+/// the seed-era eager constructor materialised.  stable_counts(),
+/// downward_closure_violation() and empirical_basis() quantify over every
+/// slice and therefore force them all.
+///
+/// Not thread-safe: lazy materialisation mutates internal caches even
+/// through const queries.
 class StableAnalysis {
 public:
-    /// Builds all slices up front.  Throws std::length_error if the total
-    /// node budget is exceeded.
+    /// Validates the inputs; no slice is built until first use.  Queries
+    /// throw std::length_error if a slice exceeds the node budget.
+    /// `compute` selects the closure machinery for every slice this
+    /// analysis builds: successor enumeration and backward closure both run
+    /// sparse (CSR) or both run the dense reference.
     StableAnalysis(const Protocol& protocol, AgentCount max_population,
-                   ReachabilityOptions options = {});
+                   ReachabilityOptions options = {},
+                   ClosureCompute compute = ClosureCompute::sparse);
 
     const Protocol& protocol() const noexcept { return protocol_; }
     AgentCount max_population() const noexcept { return max_population_; }
+    ClosureCompute compute() const noexcept { return compute_; }
 
     /// Stability of a configuration with 2 ≤ |C| ≤ max_population.
     /// Throws std::invalid_argument outside that range.
@@ -64,12 +87,13 @@ public:
     /// All b-stable configurations of one slice.
     std::vector<Config> stable_configs(AgentCount population, int b) const;
 
-    /// Number of b-stable configurations per slice (for reporting).
+    /// Number of b-stable configurations per slice (forces all slices).
     std::vector<std::pair<AgentCount, std::size_t>> stable_counts(int b) const;
 
     /// Lemma 3.1 check over the computed region: removing one agent from a
     /// b-stable configuration (population permitting) stays b-stable.
     /// Returns a violating configuration if any — expected nullopt.
+    /// Forces all slices.
     std::optional<Config> downward_closure_violation() const;
 
     /// Empirical basis of SC_b over the computed region.  A state q is
@@ -78,17 +102,25 @@ public:
     /// `min_pump_margin` steps must be checkable).  Elements subsumed by
     /// another element are dropped.  This is an under/over-approximation
     /// pair discussed in DESIGN.md — exact bases need unbounded pumping.
+    /// Forces all slices.
     std::vector<BasisElement> empirical_basis(int b, AgentCount min_pump_margin = 2) const;
 
 private:
+    /// Materialises (or returns the cached) slice of one population size.
     const ReachabilityGraph& slice(AgentCount population) const;
     const std::vector<Stability>& flags(AgentCount population) const;
+    void ensure_slice(AgentCount population) const;
+    void ensure_all_slices() const;
 
     // Owned copy: analyses outlive any temporary the caller built from.
     Protocol protocol_;
     AgentCount max_population_;
-    std::map<AgentCount, ReachabilityGraph> slices_;
-    std::map<AgentCount, std::vector<Stability>> flags_;
+    ReachabilityOptions options_;
+    ClosureCompute compute_;
+    // Lazy caches, keyed by population size (see the class comment for the
+    // memory bound).
+    mutable std::map<AgentCount, ReachabilityGraph> slices_;
+    mutable std::map<AgentCount, std::vector<Stability>> flags_;
 };
 
 }  // namespace ppsc

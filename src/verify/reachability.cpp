@@ -51,19 +51,48 @@ void ReachabilityGraph::close(const ReachabilityOptions& options, std::vector<No
     // not yet computed.
     std::size_t processed = 0;
     std::vector<NodeId> out;  // reused buffer; adjacency_ grows inside intern()
+    const auto fire_rule = [&](const Config& current, NodeId node, TransitionId rule,
+                               std::vector<NodeId>& frontier_ref) {
+        const Transition& t = protocol_->transitions()[static_cast<std::size_t>(rule)];
+        const NodeId target = intern(protocol_->fire(current, t), options, frontier_ref);
+        if (target != node) out.push_back(target);
+    };
     while (processed < frontier.size()) {
         const NodeId node = frontier[processed++];
         const Config current = configs_[static_cast<std::size_t>(node)];  // copy: configs_ may grow
         out.clear();
         const std::vector<StateId> support = current.support();
-        for (std::size_t i = 0; i < support.size(); ++i) {
-            for (std::size_t j = i; j < support.size(); ++j) {
-                if (i == j && current[support[i]] < 2) continue;
-                for (const TransitionId rule : protocol_->rules_for_pair(support[i], support[j])) {
-                    const Transition& t =
-                        protocol_->transitions()[static_cast<std::size_t>(rule)];
-                    const NodeId target = intern(protocol_->fire(current, t), options, frontier);
-                    if (target != node) out.push_back(target);
+        if (options.compute == ClosureCompute::sparse) {
+            // Walk the non-silent-pair CSR restricted to the support: every
+            // enabled pair with at least one rule is reached through the
+            // neighbour lists of its (occupied) endpoints, each unordered
+            // pair exactly once (self pairs via self_pair, non-self pairs
+            // from their lower endpoint).  Silent support pairs are never
+            // touched, so the cost is Σ_{q ∈ supp} deg(q) + rules fired,
+            // independent of the rule-table kind.
+            for (const StateId q : support) {
+                if (current[q] >= 2) {
+                    const Protocol::PairId self = protocol_->self_pair(q);
+                    if (self != Protocol::kNoPair) {
+                        for (const TransitionId rule : protocol_->rules_for_pair_id(self))
+                            fire_rule(current, node, rule, frontier);
+                    }
+                }
+                for (const Protocol::PairNeighbor& neighbor : protocol_->pair_neighbors(q)) {
+                    if (neighbor.partner < q || current[neighbor.partner] == 0) continue;
+                    for (const TransitionId rule : protocol_->rules_for_pair_id(neighbor.pair))
+                        fire_rule(current, node, rule, frontier);
+                }
+            }
+        } else {
+            // Reference: probe every support × support pair through the rule
+            // table (the seed formulation).
+            for (std::size_t i = 0; i < support.size(); ++i) {
+                for (std::size_t j = i; j < support.size(); ++j) {
+                    if (i == j && current[support[i]] < 2) continue;
+                    for (const TransitionId rule :
+                         protocol_->rules_for_pair(support[i], support[j]))
+                        fire_rule(current, node, rule, frontier);
                 }
             }
         }
@@ -232,24 +261,75 @@ void ReachabilityGraph::build_reverse_edges() const {
     }
 }
 
-std::vector<bool> ReachabilityGraph::backward_closure(const std::vector<bool>& targets) const {
+void ReachabilityGraph::build_reverse_csr() const {
+    if (!reverse_offsets_.empty() || configs_.empty()) return;
+    // Counting sort of the edge list by target: two passes over the forward
+    // adjacency, two contiguous arrays, no per-node vectors.
+    reverse_offsets_.assign(configs_.size() + 1, 0);
+    for (const auto& out : adjacency_)
+        for (const NodeId target : out) ++reverse_offsets_[static_cast<std::size_t>(target) + 1];
+    for (std::size_t i = 1; i < reverse_offsets_.size(); ++i)
+        reverse_offsets_[i] += reverse_offsets_[i - 1];
+    reverse_targets_.resize(reverse_offsets_.back());
+    std::vector<std::uint32_t> cursor(reverse_offsets_.begin(), reverse_offsets_.end() - 1);
+    for (std::size_t node = 0; node < configs_.size(); ++node) {
+        for (const NodeId target : adjacency_[node])
+            reverse_targets_[cursor[static_cast<std::size_t>(target)]++] =
+                static_cast<NodeId>(node);
+    }
+}
+
+std::vector<bool> ReachabilityGraph::backward_closure(const std::vector<bool>& targets,
+                                                      ClosureCompute compute) const {
     if (targets.size() != configs_.size())
         throw std::invalid_argument("ReachabilityGraph::backward_closure: size mismatch");
-    build_reverse_edges();
-    std::vector<bool> visited = targets;
-    std::deque<NodeId> queue;
-    for (std::size_t node = 0; node < targets.size(); ++node) {
-        if (targets[node]) queue.push_back(static_cast<NodeId>(node));
-    }
-    while (!queue.empty()) {
-        const NodeId node = queue.front();
-        queue.pop_front();
-        for (const NodeId prev : reverse_adjacency_[static_cast<std::size_t>(node)]) {
-            if (!visited[static_cast<std::size_t>(prev)]) {
-                visited[static_cast<std::size_t>(prev)] = true;
-                queue.push_back(prev);
+
+    if (compute == ClosureCompute::reference) {
+        build_reverse_edges();
+        std::vector<bool> visited = targets;
+        std::deque<NodeId> queue;
+        for (std::size_t node = 0; node < targets.size(); ++node) {
+            if (targets[node]) queue.push_back(static_cast<NodeId>(node));
+        }
+        while (!queue.empty()) {
+            const NodeId node = queue.front();
+            queue.pop_front();
+            for (const NodeId prev : reverse_adjacency_[static_cast<std::size_t>(node)]) {
+                if (!visited[static_cast<std::size_t>(prev)]) {
+                    visited[static_cast<std::size_t>(prev)] = true;
+                    queue.push_back(prev);
+                }
             }
         }
+        return visited;
+    }
+
+    // Sparse: round-structured worklist over the flat reverse CSR, seeded
+    // from the target set (in stable-set use, Bad_b — itself seeded from
+    // sparse support scans).  Rounds are BFS levels; the closure is a set,
+    // so the result is identical to the reference BFS.
+    build_reverse_csr();
+    std::vector<bool> visited = targets;
+    std::vector<NodeId> round;
+    for (std::size_t node = 0; node < targets.size(); ++node) {
+        if (targets[node]) round.push_back(static_cast<NodeId>(node));
+    }
+    std::vector<NodeId> next_round;
+    while (!round.empty()) {
+        next_round.clear();
+        for (const NodeId node : round) {
+            const auto i = static_cast<std::size_t>(node);
+            const std::uint32_t begin = reverse_offsets_[i];
+            const std::uint32_t end = reverse_offsets_[i + 1];
+            for (std::uint32_t e = begin; e < end; ++e) {
+                const NodeId prev = reverse_targets_[e];
+                if (!visited[static_cast<std::size_t>(prev)]) {
+                    visited[static_cast<std::size_t>(prev)] = true;
+                    next_round.push_back(prev);
+                }
+            }
+        }
+        std::swap(round, next_round);
     }
     return visited;
 }

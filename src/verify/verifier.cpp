@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "sim/simulator.hpp"
 #include "support/check.hpp"
+#include "support/rng.hpp"
 
 namespace ppsc {
 
@@ -140,6 +142,72 @@ std::optional<AgentCount> Verifier::infer_threshold(AgentCount max_input) const 
         }
     }
     return first_accept;
+}
+
+bool Verifier::screening_refutes_threshold(AgentCount max_input,
+                                           const ScreeningOptions& screening) const {
+    if (protocol_.input_variables().size() != 1) return false;
+    if (screening.runs <= 0 || screening.max_interactions == 0) return false;
+
+    // One simulator per candidate: trap setup is the O(|T| + evictions·deg)
+    // worklist fixpoint, negligible next to a single reachability graph.
+    const Simulator simulator(protocol_);
+    SimulationOptions run_options;
+    run_options.max_interactions = screening.max_interactions;
+
+    // Converged verdicts collected so far: the smallest input seen
+    // accepting and the largest seen rejecting.  Threshold behaviour needs
+    // every accepting input to lie strictly above every rejecting one.
+    std::optional<AgentCount> min_one, max_zero;
+    int inconclusive_streak = 0;
+
+    const AgentCount start = protocol_.is_leaderless() ? 2 : std::max<AgentCount>(
+        0, 2 - protocol_.leaders().size());
+    const AgentCount first = std::max<AgentCount>(start, 0);
+    if (max_input < first) return false;
+    // Descending order: a converged 0 at max_input refutes on its own (see
+    // below), and the commonest non-threshold candidates — always-rejecting
+    // tables — converge to 0 everywhere, so starting at the top ends their
+    // screening after a single run.
+    for (AgentCount i = max_input; i >= first; --i) {
+        if (protocol_.leaders().size() + i < 2) continue;
+        bool any_converged = false;
+        for (int run = 0; run < screening.runs; ++run) {
+            // Deterministic per-(input, run) stream: SplitMix64 decorrelates
+            // consecutive seeds, so a plain mix suffices.
+            Rng rng(screening.seed ^
+                    (0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1) +
+                     static_cast<std::uint64_t>(run)));
+            const SimulationResult result = simulator.run_input(i, rng, run_options);
+            if (!result.converged) continue;  // inconclusive run
+            any_converged = true;
+            if (!result.output) return true;  // stable but no consensus: ill-specified
+            if (*result.output == 1) {
+                if (!min_one || i < *min_one) min_one = i;
+            } else {
+                // A stable 0-consensus reachable from IC(max_input) means
+                // the exact verdict there is 0 or ill-specified; either way
+                // the pattern cannot end in an accepting run, so no
+                // threshold exists.
+                if (i == max_input) return true;
+                if (!max_zero || i > *max_zero) max_zero = i;
+            }
+            if (min_one && max_zero && *min_one <= *max_zero) return true;
+        }
+        // Oscillator cut-off: candidates that never converge cannot be
+        // refuted here, only drained of budget.  Hand them to phase 2.
+        inconclusive_streak = any_converged ? 0 : inconclusive_streak + 1;
+        if (screening.max_inconclusive_inputs > 0 &&
+            inconclusive_streak >= screening.max_inconclusive_inputs)
+            return false;
+    }
+    return false;
+}
+
+std::optional<AgentCount> Verifier::infer_threshold(AgentCount max_input,
+                                                    const ScreeningOptions& screening) const {
+    if (screening_refutes_threshold(max_input, screening)) return std::nullopt;
+    return infer_threshold(max_input);
 }
 
 }  // namespace ppsc

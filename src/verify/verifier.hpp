@@ -13,6 +13,22 @@
 // This is exact for each checked input; it cannot by itself prove a
 // statement for *all* (infinitely many) inputs — callers choose the input
 // range and the reports say exactly what was checked.
+//
+// Two-phase mode (PR 6): before paying for exact reachability graphs, a
+// candidate can be *screened* on the simulation fast path.  A converged
+// simulation run is a sound witness — the engine's convergence conditions
+// (silence, output traps; sim/simulator.hpp) prove the reached
+// configuration is stable, and it is reachable from IC(i), so some fair
+// execution from IC(i) stabilises to that output.  Hence observing
+// converged output 1 at input i and converged output 0 at input j ≥ i
+// refutes "computes a threshold x ≥ η" outright (the exact verdicts could
+// not form the monotone 0…0 1…1 pattern), a converged output 0 at the
+// largest checked input refutes on its own (the pattern could not end in an
+// acceptance), and a converged run with no consensus output (a silent mixed
+// configuration) proves the input ill-specified.  Screening therefore
+// rejects only candidates whose exact
+// infer_threshold would return nullopt — it is falsification, never
+// approximation — and exact verification runs only on the survivors.
 #pragma once
 
 #include <cstdint>
@@ -45,6 +61,28 @@ struct PredicateCheck {
     std::size_t total_nodes = 0;
 };
 
+/// Phase-1 budget of the two-phase mode (see the module comment).  The
+/// defaults are tuned for busy-beaver candidates: populations ≤ max_input
+/// agents converge (or provably fail to) within a few thousand interactions
+/// when they converge at all.
+struct ScreeningOptions {
+    /// Simulated runs per input; 0 disables screening entirely.
+    int runs = 2;
+    /// Interaction budget per run (runs hitting it are inconclusive and
+    /// never reject anything).
+    std::uint64_t max_interactions = 20'000;
+    /// Base seed; the per-(input, run) generator is derived
+    /// deterministically, so screening verdicts are reproducible.
+    std::uint64_t seed = 0x5c3ee11aU;
+    /// Give up after this many consecutive inputs on which *every* run hit
+    /// the interaction budget without converging (0 = never give up).
+    /// Oscillating candidates never produce converged witnesses, so each
+    /// further input would burn runs × max_interactions steps and learn
+    /// nothing; giving up just defers them to exact verification, which
+    /// keeps screening sound.
+    int max_inconclusive_inputs = 3;
+};
+
 class Verifier {
 public:
     explicit Verifier(const Protocol& protocol, ReachabilityOptions options = {})
@@ -72,6 +110,24 @@ public:
     /// ill-specified, the pattern is broken, or everything is rejected.
     /// This is the workhorse of the busy-beaver search (Definition 1).
     std::optional<AgentCount> infer_threshold(AgentCount max_input) const;
+
+    /// Phase 1 of the two-phase mode: randomized falsification on the
+    /// simulation fast path.  Returns true iff simulation *refuted*
+    /// threshold behaviour on [start, max_input] — a converged run with no
+    /// consensus, converged output 0 at max_input, or converged output 1 at
+    /// some input i with converged output 0 at some j ≥ i.  Inputs are
+    /// checked from max_input downward so the second condition can fire on
+    /// the very first run.  Sound: whenever this returns true,
+    /// infer_threshold(max_input) returns nullopt (asserted on exhaustive
+    /// sweeps in tests/analysis_sparse_test.cpp); false is inconclusive.
+    bool screening_refutes_threshold(AgentCount max_input,
+                                     const ScreeningOptions& screening) const;
+
+    /// Two-phase infer_threshold: screen first, run the exact verdict only
+    /// on survivors.  Result-identical to infer_threshold(max_input); the
+    /// saving is that refuted candidates never build reachability graphs.
+    std::optional<AgentCount> infer_threshold(AgentCount max_input,
+                                              const ScreeningOptions& screening) const;
 
 private:
     // Owned copy: the verifier may outlive a temporary the caller built

@@ -1,0 +1,363 @@
+// Sparse ≡ reference identity for the analysis stack (PR 6).
+//
+// Every ported layer keeps its seed-era dense formulation as a swappable
+// reference (mirroring sim/traps.hpp's TrapCompute), and this file asserts
+// the two backends *agree* — exhaustively over small protocols, randomly
+// over larger ones, and on a hand-built graph whose backward closure has a
+// non-trivial BFS round structure.  Covered contracts:
+//
+//   * ReachabilityGraph successor enumeration (ClosureCompute in explore /
+//     full_slice) — identical node sets, edges and SCC structure;
+//   * ReachabilityGraph::backward_closure — worklist vs reverse-BFS;
+//   * StableAnalysis — identical stable sets under either backend;
+//   * Verifier::infer_threshold — identical verdicts end to end, and the
+//     screening phase is sound: a refuted candidate's exact threshold is
+//     always nullopt;
+//   * hilbert_basis_equalities / realisable_multiset_basis — identical
+//     bases from the incremental-residual and recompute backends;
+//   * bounds::stable_configuration_for_input — identical selections from
+//     the one-pass and per-component-rescan aggregations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bounds/pumping.hpp"
+#include "diophantine/realisable.hpp"
+#include "protocols/double_exp_threshold.hpp"
+#include "protocols/threshold.hpp"
+#include "stable/stable_sets.hpp"
+#include "support/rng.hpp"
+#include "verify/reachability.hpp"
+#include "verify/verifier.hpp"
+
+namespace ppsc {
+namespace {
+
+ReachabilityOptions with_compute(ClosureCompute compute) {
+    ReachabilityOptions options;
+    options.compute = compute;
+    return options;
+}
+
+/// Asserts the two successor-enumeration backends build the same graph.
+/// full_slice interns every configuration of the slice up front (in
+/// enumeration order) and close() sorts each node's out-list, so the two
+/// graphs must match node for node, edge for edge.
+void expect_slices_identical(const Protocol& protocol, AgentCount population,
+                             const std::string& what) {
+    const ReachabilityGraph sparse =
+        ReachabilityGraph::full_slice(protocol, population, with_compute(ClosureCompute::sparse));
+    const ReachabilityGraph reference = ReachabilityGraph::full_slice(
+        protocol, population, with_compute(ClosureCompute::reference));
+    ASSERT_EQ(sparse.num_nodes(), reference.num_nodes()) << what;
+    for (std::size_t node = 0; node < sparse.num_nodes(); ++node) {
+        const auto id = static_cast<NodeId>(node);
+        ASSERT_EQ(sparse.config(id), reference.config(id)) << what << ", node " << node;
+        const auto sparse_out = sparse.successors(id);
+        const auto reference_out = reference.successors(id);
+        ASSERT_EQ(std::vector<NodeId>(sparse_out.begin(), sparse_out.end()),
+                  std::vector<NodeId>(reference_out.begin(), reference_out.end()))
+            << what << ", node " << node;
+    }
+
+    // Backward closures on the shared graph: seed from each output class
+    // (the stable-set use) and compare the worklist against the reference
+    // reverse-BFS.
+    for (int b = 0; b < 2; ++b) {
+        std::vector<bool> targets(sparse.num_nodes(), false);
+        for (std::size_t node = 0; node < sparse.num_nodes(); ++node)
+            targets[node] = sparse.protocol().consensus_output(
+                                sparse.config(static_cast<NodeId>(node))) == b;
+        EXPECT_EQ(sparse.backward_closure(targets, ClosureCompute::sparse),
+                  sparse.backward_closure(targets, ClosureCompute::reference))
+            << what << ", b = " << b;
+    }
+}
+
+void expect_layers_identical(const Protocol& protocol, AgentCount max_population,
+                             const std::string& what) {
+    expect_slices_identical(protocol, max_population, what);
+
+    // Stable sets: identical classifications under either backend.
+    const StableAnalysis sparse(protocol, max_population, {}, ClosureCompute::sparse);
+    const StableAnalysis reference(protocol, max_population, {}, ClosureCompute::reference);
+    for (AgentCount population = 2; population <= max_population; ++population) {
+        for (int b = 0; b < 2; ++b) {
+            EXPECT_EQ(sparse.stable_configs(population, b),
+                      reference.stable_configs(population, b))
+                << what << ", population " << population << ", b = " << b;
+        }
+    }
+
+    // End-to-end verdicts: the threshold inference must not depend on the
+    // backend that built its reachability graphs.
+    const Verifier sparse_verifier(protocol, with_compute(ClosureCompute::sparse));
+    const Verifier reference_verifier(protocol, with_compute(ClosureCompute::reference));
+    EXPECT_EQ(sparse_verifier.infer_threshold(max_population),
+              reference_verifier.infer_threshold(max_population))
+        << what;
+
+    // Pumping's stable-configuration selection.
+    for (AgentCount input = 2; input <= max_population; ++input) {
+        EXPECT_EQ(bounds::stable_configuration_for_input(protocol, input, {},
+                                                         ClosureCompute::sparse),
+                  bounds::stable_configuration_for_input(protocol, input, {},
+                                                         ClosureCompute::reference))
+            << what << ", input " << input;
+    }
+
+    // Diophantine: incremental-residual completion and scatter row assembly
+    // against the recompute-everything reference.  The backends walk the
+    // identical frontier, so a budget abort (possible for the nastier
+    // random systems) must also strike both or neither.
+    HilbertOptions sparse_hilbert, reference_hilbert;
+    sparse_hilbert.compute = HilbertCompute::sparse;
+    reference_hilbert.compute = HilbertCompute::reference;
+    sparse_hilbert.max_frontier = reference_hilbert.max_frontier = 200'000;
+    std::optional<RealisableBasis> basis_sparse, basis_reference;
+    try {
+        basis_sparse = realisable_multiset_basis(protocol, sparse_hilbert);
+    } catch (const std::length_error&) {
+    }
+    try {
+        basis_reference = realisable_multiset_basis(protocol, reference_hilbert);
+    } catch (const std::length_error&) {
+    }
+    ASSERT_EQ(basis_sparse.has_value(), basis_reference.has_value()) << what;
+    if (basis_sparse) {
+        EXPECT_EQ(basis_sparse->elements, basis_reference->elements) << what;
+        EXPECT_EQ(basis_sparse->inputs, basis_reference->inputs) << what;
+        EXPECT_EQ(basis_sparse->results, basis_reference->results) << what;
+    }
+}
+
+// Every protocol over 3 states with at most two non-silent transitions and
+// every output assignment — the same 3728-protocol space the trap sweep
+// covers, run through every ported layer.
+TEST(AnalysisSparse, ExhaustiveThreeStateSweep) {
+    struct Candidate {
+        StateId p, q, p2, q2;
+    };
+    std::vector<Candidate> candidates;
+    for (StateId p = 0; p < 3; ++p)
+        for (StateId q = p; q < 3; ++q)
+            for (StateId p2 = 0; p2 < 3; ++p2)
+                for (StateId q2 = p2; q2 < 3; ++q2) {
+                    if (p == p2 && q == q2) continue;  // silent
+                    candidates.push_back({p, q, p2, q2});
+                }
+    ASSERT_EQ(candidates.size(), 30u);
+
+    std::size_t checked = 0;
+    const auto sweep_outputs = [&](const std::vector<Candidate>& transitions) {
+        for (int outputs = 0; outputs < 8; ++outputs) {
+            ProtocolBuilder b;
+            for (StateId s = 0; s < 3; ++s)
+                b.add_state("q" + std::to_string(s), (outputs >> s) & 1);
+            b.set_input("x", 0);
+            for (const Candidate& t : transitions) b.add_transition(t.p, t.q, t.p2, t.q2);
+            const Protocol protocol = std::move(b).build();
+            expect_layers_identical(protocol, 4, "outputs mask " + std::to_string(outputs));
+            ++checked;
+        }
+    };
+
+    sweep_outputs({});  // zero non-silent pairs
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        sweep_outputs({candidates[i]});
+        for (std::size_t j = i + 1; j < candidates.size(); ++j)
+            sweep_outputs({candidates[i], candidates[j]});
+    }
+    EXPECT_EQ(checked, 8u * (1 + 30 + 30 * 29 / 2));
+}
+
+// Randomised protocols over 5 states with up to 8 transitions: multi-rule
+// pairs, dead states, and graphs big enough that the sparse and reference
+// enumerations take genuinely different paths.
+TEST(AnalysisSparse, RandomisedFiveStateSweep) {
+    Rng rng(0x7a9);
+    for (int round = 0; round < 60; ++round) {
+        ProtocolBuilder b;
+        for (StateId s = 0; s < 5; ++s)
+            b.add_state("q" + std::to_string(s), static_cast<int>(rng.below(2)));
+        b.set_input("x", 0);
+        const int transitions = 1 + static_cast<int>(rng.below(8));
+        for (int t = 0; t < transitions; ++t) {
+            b.add_transition(static_cast<StateId>(rng.below(5)), static_cast<StateId>(rng.below(5)),
+                             static_cast<StateId>(rng.below(5)),
+                             static_cast<StateId>(rng.below(5)));
+        }
+        const Protocol protocol = std::move(b).build();
+        expect_layers_identical(protocol, 4, "random round " + std::to_string(round));
+    }
+}
+
+// The paper's families, where the sparse paths matter most.
+TEST(AnalysisSparse, FamiliesAgree) {
+    expect_slices_identical(protocols::unary_threshold(3), 5, "unary(3)");
+    expect_slices_identical(protocols::collector_threshold(5), 4, "collector(5)");
+    expect_slices_identical(protocols::double_exp_threshold(4), 4, "double_exp(4)");
+    expect_slices_identical(protocols::double_exp_threshold_dense(2), 4, "double_exp_dense(2)");
+}
+
+// Regression pinning the round structure of the sparse backward closure:
+// a three-level chain with a diamond.  The closure is a *set*, so unlike
+// the trap fixpoint no order discipline is needed — but the exact expected
+// sets are pinned here so a future worklist rewrite that drops nodes (e.g.
+// by consuming the visited bit too early) fails loudly rather than only on
+// the random sweeps.
+TEST(AnalysisSparse, BackwardClosureRegressionOnDiamondChain) {
+    // x,y -> z,z ; z,w -> y,y: from {x,y,w,w} the graph branches and
+    // re-converges across three BFS levels.
+    ProtocolBuilder b;
+    const StateId x = b.add_state("x", 0);
+    const StateId y = b.add_state("y", 0);
+    const StateId z = b.add_state("z", 1);
+    const StateId w = b.add_state("w", 1);
+    b.set_input("in", x);
+    b.add_transition(x, y, z, z);
+    b.add_transition(z, w, y, y);
+    const Protocol p = std::move(b).build();
+
+    Config root(p.num_states());
+    root.set(x, 1);
+    root.set(y, 1);
+    root.set(w, 2);
+    const Config roots[] = {root};
+    const ReachabilityGraph graph = ReachabilityGraph::explore(p, roots, {});
+    // {x,y,2w} -> {2z,2w} -> {z,y,w} (twice over: the second z can also
+    // react) -> ... the closure of the all-consensus sink must pull in the
+    // whole chain; the closure of the root alone contains only the root.
+    ASSERT_GE(graph.num_nodes(), 3u);
+
+    std::vector<bool> root_only(graph.num_nodes(), false);
+    root_only[static_cast<std::size_t>(graph.roots()[0])] = true;
+    const auto from_root_sparse = graph.backward_closure(root_only, ClosureCompute::sparse);
+    const auto from_root_reference =
+        graph.backward_closure(root_only, ClosureCompute::reference);
+    EXPECT_EQ(from_root_sparse, from_root_reference);
+    // The root has no predecessors: its backward closure is itself.
+    EXPECT_EQ(std::count(from_root_sparse.begin(), from_root_sparse.end(), true), 1);
+
+    // Seeding from every node with no successors (the sinks) must reach
+    // every node: the graph is a finite DAG-plus-cycles where each node
+    // can keep firing until it can't.
+    std::vector<bool> sinks(graph.num_nodes(), false);
+    for (std::size_t node = 0; node < graph.num_nodes(); ++node)
+        sinks[node] = graph.successors(static_cast<NodeId>(node)).empty();
+    const auto from_sinks = graph.backward_closure(sinks, ClosureCompute::sparse);
+    EXPECT_EQ(from_sinks, graph.backward_closure(sinks, ClosureCompute::reference));
+    EXPECT_EQ(std::count(from_sinks.begin(), from_sinks.end(), true),
+              static_cast<std::ptrdiff_t>(graph.num_nodes()));
+}
+
+// Laziness contract: constructing a StableAnalysis is free, touching one
+// small slice is cheap, and only the queries that genuinely quantify over
+// every slice pay for (or trip the budget of) the big ones.
+TEST(AnalysisSparse, StableAnalysisIsLazy) {
+    const Protocol p = protocols::unary_threshold(2);
+    ReachabilityOptions tight;
+    tight.max_nodes = 50;  // population 30 over 3 states needs C(32,2) = 496 nodes
+    const StableAnalysis analysis(p, 30, tight);
+
+    // Small slices fit the budget and answer correctly.
+    EXPECT_EQ(analysis.stable_configs(3, 1).size(), 1u);  // {3·v2}
+    Config accept(p.num_states());
+    accept.set(*p.find_state("v2"), 4);
+    EXPECT_EQ(analysis.stability(accept), Stability::kStable1);
+
+    // All-slice reports force population 30 and must trip the node budget —
+    // proof that the constructor and the small queries never materialised it.
+    EXPECT_THROW(analysis.stable_counts(1), std::length_error);
+    EXPECT_THROW(analysis.downward_closure_violation(), std::length_error);
+
+    // Out-of-range queries are rejected without materialising anything.
+    Config too_big(p.num_states());
+    too_big.set(*p.find_state("v0"), 31);
+    EXPECT_THROW(analysis.stability(too_big), std::invalid_argument);
+}
+
+// Screening soundness, exhaustively: whenever phase 1 refutes a candidate,
+// the exact threshold is nullopt — and therefore the two-phase
+// infer_threshold is result-identical to the exact one.  Same 3-state
+// space as above, with a deliberately small interaction budget (soundness
+// may not depend on it).
+TEST(AnalysisSparse, ScreeningIsSoundOnExhaustiveThreeStateSweep) {
+    ScreeningOptions screening;
+    screening.runs = 1;
+    screening.max_interactions = 1'000;
+
+    std::size_t screened = 0, checked = 0;
+    const auto sweep = [&](StateId p, StateId q, StateId p2, StateId q2) {
+        for (int outputs = 0; outputs < 8; ++outputs) {
+            ProtocolBuilder b;
+            for (StateId s = 0; s < 3; ++s)
+                b.add_state("q" + std::to_string(s), (outputs >> s) & 1);
+            b.set_input("x", 0);
+            b.add_transition(p, q, p2, q2);
+            const Protocol protocol = std::move(b).build();
+            const Verifier verifier(protocol);
+            const auto exact = verifier.infer_threshold(5);
+            if (verifier.screening_refutes_threshold(5, screening)) {
+                ++screened;
+                EXPECT_EQ(exact, std::nullopt)
+                    << "screening refuted a genuine threshold: outputs mask " << outputs;
+            }
+            EXPECT_EQ(verifier.infer_threshold(5, screening), exact);
+            ++checked;
+        }
+    };
+    for (StateId p = 0; p < 3; ++p)
+        for (StateId q = p; q < 3; ++q)
+            for (StateId p2 = 0; p2 < 3; ++p2)
+                for (StateId q2 = p2; q2 < 3; ++q2) {
+                    if (p == p2 && q == q2) continue;
+                    sweep(p, q, p2, q2);
+                }
+    EXPECT_EQ(checked, 8u * 30);
+    // The sweep is full of oscillators and mixed-sink protocols; screening
+    // must actually catch some of them or phase 1 is dead code.
+    EXPECT_GT(screened, 0u);
+}
+
+// Hilbert backends on raw systems (not just protocol-shaped ones),
+// including a system whose completion takes several frontier generations.
+TEST(AnalysisSparse, HilbertBackendsAgreeOnRawSystems) {
+    const auto both = [](const HomogeneousSystem& system) {
+        HilbertOptions sparse, reference;
+        sparse.compute = HilbertCompute::sparse;
+        reference.compute = HilbertCompute::reference;
+        EXPECT_EQ(hilbert_basis_equalities(system, sparse),
+                  hilbert_basis_equalities(system, reference));
+        EXPECT_EQ(generating_basis_inequalities(system, sparse),
+                  generating_basis_inequalities(system, reference));
+    };
+
+    // x = y.
+    both({2, {{1, -1}}});
+    // 2x = 3y: minimal solution (3, 2), several generations out.
+    both({2, {{2, -3}}});
+    // x + y = 2z with a redundant doubled row.
+    both({3, {{1, 1, -2}, {2, 2, -4}}});
+    // Empty system: every unit vector is minimal.
+    both({3, {}});
+
+    Rng rng(0xd10);
+    for (int round = 0; round < 40; ++round) {
+        HomogeneousSystem system;
+        system.num_vars = 2 + rng.below(3);
+        const std::size_t rows = 1 + rng.below(2);
+        for (std::size_t i = 0; i < rows; ++i) {
+            std::vector<std::int64_t> row(system.num_vars);
+            for (auto& a : row) a = static_cast<std::int64_t>(rng.below(5)) - 2;
+            system.rows.push_back(std::move(row));
+        }
+        both(system);
+    }
+}
+
+}  // namespace
+}  // namespace ppsc

@@ -92,6 +92,22 @@ TEST(PaperBounds, BblLowerIsDoublyExponential) {
     EXPECT_NEAR(static_cast<double>(bounds::bbl_lower(10).log2_value()), 1024.0, 1e-9);
 }
 
+TEST(PaperBounds, BusyBeaverBracketPlacesMeasurementsBetweenTheorems) {
+    // The measured BB(3) = 3 (tests/search_test.cpp) against the paper:
+    // constructions reach 2 with 3 states, and ϑ(3) is astronomically above.
+    const auto bracket = bounds::busy_beaver_bracket(3, 3);
+    EXPECT_EQ(bracket.construction_lower, bounds::busy_beaver_lower(3).best());
+    EXPECT_TRUE(bracket.reaches_construction);
+    EXPECT_TRUE(bracket.below_upper);
+
+    // A measurement below the constructive witness flags an incomplete
+    // search rather than silently passing.
+    const auto incomplete = bounds::busy_beaver_bracket(5, 3);
+    EXPECT_EQ(incomplete.construction_lower, 8);
+    EXPECT_FALSE(incomplete.reaches_construction);
+    EXPECT_TRUE(incomplete.below_upper);
+}
+
 TEST(PaperBounds, BblUpperDescriptionMentionsHierarchy) {
     const std::string text = bounds::bbl_upper_description(3, 1);
     EXPECT_NE(text.find("F_omega"), std::string::npos);

@@ -88,6 +88,24 @@ TEST(PumpingCertificate, CollectorFamily) {
     EXPECT_LE(certificate->a, 11);
 }
 
+TEST(PumpingCertificate, ReferenceBackendProducesIdenticalCertificate) {
+    const Protocol p = protocols::unary_threshold(3);
+    bounds::PumpingOptions sparse, reference;
+    sparse.max_input = reference.max_input = 9;
+    reference.compute = ClosureCompute::reference;
+    reference.reachability.compute = ClosureCompute::reference;
+    const auto a = bounds::find_pumping_certificate(p, sparse);
+    const auto b = bounds::find_pumping_certificate(p, reference);
+    ASSERT_EQ(a.has_value(), b.has_value());
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->a, b->a);
+    EXPECT_EQ(a->b, b->b);
+    EXPECT_EQ(a->verdict, b->verdict);
+    EXPECT_EQ(a->stable_low, b->stable_low);
+    EXPECT_EQ(a->stable_high, b->stable_high);
+    EXPECT_EQ(a->candidates_rejected, b->candidates_rejected);
+}
+
 TEST(PumpingCertificate, RequiresSingleInputVariable) {
     ProtocolBuilder b;
     const StateId a = b.add_state("A", 1);

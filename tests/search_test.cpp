@@ -53,6 +53,29 @@ TEST(BusyBeaverSearch, SamplingModeWorks) {
     EXPECT_EQ(outcome.enumerated, 2000u);
 }
 
+TEST(BusyBeaverSearch, ScreeningPreservesResultsExactly) {
+    // Two-phase mode is sound falsification: every field of the outcome
+    // except the cost counters must match a screen-free run bit for bit.
+    search::SearchOptions exact;
+    exact.max_input = 8;
+    search::SearchOptions screened = exact;
+    screened.screen = true;
+    screened.screening.runs = 2;
+    screened.screening.max_interactions = 2'000;
+
+    const auto a = search::busy_beaver_search(2, exact);
+    const auto b = search::busy_beaver_search(2, screened);
+    EXPECT_EQ(a.best_eta, b.best_eta);
+    EXPECT_EQ(a.threshold_protocols, b.threshold_protocols);
+    EXPECT_EQ(a.eta_histogram, b.eta_histogram);
+    EXPECT_EQ(a.best_protocol_text, b.best_protocol_text);
+    EXPECT_EQ(a.canonical, b.canonical);
+    EXPECT_EQ(a.screened_out, 0u);
+    // The 2-state space is full of oscillators; screening must catch some
+    // or the fast path is dead code.
+    EXPECT_GT(b.screened_out, 0u);
+}
+
 TEST(BusyBeaverSearch, ParameterValidation) {
     EXPECT_THROW(search::busy_beaver_search(1, {}), std::invalid_argument);
     EXPECT_THROW(search::busy_beaver_search(4, {}), std::invalid_argument);  // no sample limit

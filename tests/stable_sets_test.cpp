@@ -92,6 +92,21 @@ TEST(StableAnalysis, BasisNormsAreTinyComparedToBeta) {
     }
 }
 
+TEST(StableAnalysis, ReferenceBackendClassifiesIdentically) {
+    const Protocol p = protocols::collector_threshold(3);
+    const StableAnalysis sparse(p, 4);
+    const StableAnalysis reference(p, 4, {}, ClosureCompute::reference);
+    EXPECT_EQ(sparse.compute(), ClosureCompute::sparse);
+    EXPECT_EQ(reference.compute(), ClosureCompute::reference);
+    for (AgentCount population = 2; population <= 4; ++population) {
+        for (int b = 0; b < 2; ++b) {
+            EXPECT_EQ(sparse.stable_configs(population, b),
+                      reference.stable_configs(population, b))
+                << "population " << population << ", b = " << b;
+        }
+    }
+}
+
 TEST(StableAnalysis, StabilityQueriesValidateRange) {
     const Protocol p = protocols::unary_threshold(2);
     const StableAnalysis analysis(p, 4);

@@ -118,6 +118,22 @@ TEST(ReachabilityGraph, ForwardAndBackwardClosures) {
     EXPECT_EQ(std::count(backward.begin(), backward.end(), true), 3);
 }
 
+TEST(ReachabilityGraph, ComputeModesAgreeOnClosures) {
+    const Protocol p = protocols::unary_threshold(2);
+    ReachabilityOptions reference;
+    reference.compute = ClosureCompute::reference;
+    const ReachabilityGraph sparse = ReachabilityGraph::full_slice(p, 4, {});
+    const ReachabilityGraph dense = ReachabilityGraph::full_slice(p, 4, reference);
+    ASSERT_EQ(sparse.num_nodes(), dense.num_nodes());
+    EXPECT_EQ(sparse.num_edges(), dense.num_edges());
+
+    std::vector<bool> targets(sparse.num_nodes(), false);
+    targets[0] = true;
+    targets[sparse.num_nodes() / 2] = true;
+    EXPECT_EQ(sparse.backward_closure(targets, ClosureCompute::sparse),
+              sparse.backward_closure(targets, ClosureCompute::reference));
+}
+
 TEST(ReachabilityGraph, NodeBudgetThrowsInsteadOfTruncating) {
     const Protocol p = protocols::unary_threshold(5);
     ReachabilityOptions tight;
