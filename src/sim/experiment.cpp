@@ -67,6 +67,10 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
                 start = latest.checkpoint->config;
                 rng.set_state(latest.checkpoint->rng_state);
                 simulation.initial_interactions = latest.checkpoint->interactions;
+                // Resume the fired counter too, so the snapshots this trial
+                // writes carry the same absolute totals the uninterrupted
+                // trial's would (checkpoint_test pins the golden format).
+                simulation.initial_fired = latest.checkpoint->fired;
             }
             simulation.checkpoint.every = options.checkpoint_every;
             simulation.checkpoint.callback = [&](const CheckpointTick& tick) {
@@ -90,6 +94,7 @@ std::vector<ConvergenceRow> convergence_sweep(const Protocol& protocol,
             snapshot.config = result.final_config;
             snapshot.rng_state = rng.state();
             snapshot.interactions = result.interactions;
+            snapshot.fired = result.fired;
             dir->write(snapshot);
         }
         trials[index] = {result.converged, result.parallel_time, result.output};
@@ -180,10 +185,18 @@ std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options) {
                 Config config = variant.protocol.initial_config(population);
                 const auto start = std::chrono::steady_clock::now();
                 std::uint64_t done = 0;
+                std::uint64_t fired = 0;
                 while (done < options.interactions_per_row) {
                     const std::uint64_t want = options.interactions_per_row - done;
-                    const std::uint64_t got = simulator.run_batch(config, rng, want);
+                    // The fired out-param is per-call (overwritten, never
+                    // accumulated by run_batch), so summing it here counts
+                    // each restart's firings exactly once.
+                    std::uint64_t fired_call = 0;
+                    const std::uint64_t got =
+                        simulator.run_batch(config, rng, want, false, nullptr, &fired_call,
+                                            options.step_mode, options.epoch);
                     done += got;
+                    fired += fired_call;
                     if (got < want) {
                         // A config that executes nothing is silent from the
                         // start (or degenerate) — restarting would spin.
@@ -205,9 +218,12 @@ std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options) {
                 row.trap_setup_seconds = simulator.trap_setup_seconds();
                 row.population = population;
                 row.interactions = done;
+                row.fired = fired;
                 row.seconds = elapsed.count();
                 row.interactions_per_sec =
                     row.seconds > 0.0 ? static_cast<double>(done) / row.seconds : 0.0;
+                row.fired_per_sec =
+                    row.seconds > 0.0 ? static_cast<double>(fired) / row.seconds : 0.0;
                 rows.push_back(row);
             }
         }

@@ -90,8 +90,15 @@ struct ThroughputRow {
     double trap_setup_seconds = 0.0;
     AgentCount population = 0;
     std::uint64_t interactions = 0;   ///< interactions executed for the row
+    /// Fired (non-silent) interactions among them — summed over the row's
+    /// run_batch calls, so IC restarts are never double-counted.  Epoch
+    /// rows report their sustained rate in fired interactions per second:
+    /// the silent majority is skipped analytically either way, so
+    /// interactions_per_sec alone would hide what the batching buys.
+    std::uint64_t fired = 0;
     double seconds = 0.0;             ///< wall-clock time for the row
     double interactions_per_sec = 0.0;
+    double fired_per_sec = 0.0;
 };
 
 struct E11Options {
@@ -122,6 +129,13 @@ struct E11Options {
     /// forced-sparse one).  `trap_setup_seconds` makes the difference
     /// visible as a column.
     TrapCompute trap_compute = TrapCompute::worklist;
+    /// Stepping mode of the swept simulators: `epoch` batches the fired
+    /// interactions of the merge frontier into multinomial draws
+    /// (sim/simulator.hpp, engine idea 5), which is what pushes the n ≥ 2⁴⁰
+    /// flagship rows past 10⁹ fired interactions per second.  Requires
+    /// `selection == fenwick` to engage; otherwise it degrades to per_step.
+    StepMode step_mode = StepMode::per_step;
+    EpochOptions epoch;
 };
 
 std::vector<ThroughputRow> e11_throughput_sweep(const E11Options& options = {});

@@ -369,6 +369,179 @@ std::optional<TransitionId> Simulator::advance(StepContextT<W>& ctx, Config& con
     return chosen;
 }
 
+template <typename W>
+bool Simulator::advance_epoch(StepContextT<W>& ctx, Config& config, Rng& rng,
+                              std::uint64_t budget, const EpochOptions& epoch,
+                              std::uint64_t* consumed, std::uint64_t* fired,
+                              EpochStats& stats) const {
+    PPSC_DASSERT(pair_select_ == PairSelect::fenwick);
+    *consumed = 0;
+    *fired = 0;
+    const W weight = ctx.active_weight;
+    if (weight == 0) return true;  // silent: nothing fires, ever
+    if (budget == 0 || epoch.drift <= 0.0) return false;
+
+    const std::size_t num_states = protocol_.num_states();
+    if (ctx.epoch_rate.size() != num_states) {
+        ctx.epoch_rate.assign(num_states, 0.0);
+        ctx.epoch_cons.assign(num_states, 0);
+        ctx.epoch_delta.assign(num_states, 0);
+    }
+
+    // Epoch detection = epoch sizing.  Freezing the weights is sound only
+    // while the weight structure barely moves, and the structure is a
+    // function of the counts — so cap the epoch length k such that every
+    // state's EXPECTED consumption over k firings stays within
+    // drift·count[q].  The per-firing consumption rate of state q is
+    // (Σ_{active pairs touching q} mult·w_i)/W with mult = 2 on the self
+    // pair: exactly the multinomial's expected draw pattern.  A global
+    // min-count cap would be useless here (E11's merge frontier always has
+    // a count-2 level, but its weight — hence its rate — is tiny); the
+    // rate-relative cap keeps k at 10⁵-10⁶ through exactly those phases.
+    const double weight_d = static_cast<double>(weight);
+    const auto pairs = protocol_.nonsilent_pairs();
+    auto& rate = ctx.epoch_rate;
+    auto& rate_touched = ctx.epoch_rate_touched;
+    rate_touched.clear();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const W w = ctx.pair_weights[i];
+        if (w == 0) continue;
+        const double wd = static_cast<double>(w);
+        const auto [p, q] = pairs[i];
+        const auto pi = static_cast<std::size_t>(p);
+        const auto qi = static_cast<std::size_t>(q);
+        if (p == q) {
+            if (rate[pi] == 0.0) rate_touched.push_back(p);
+            rate[pi] += 2.0 * wd;
+        } else {
+            if (rate[pi] == 0.0) rate_touched.push_back(p);
+            rate[pi] += wd;
+            if (rate[qi] == 0.0) rate_touched.push_back(q);
+            rate[qi] += wd;
+        }
+    }
+    double k_cap = static_cast<double>(epoch.max_firings);
+    for (const StateId s : rate_touched) {
+        const auto si = static_cast<std::size_t>(s);
+        const double cap = epoch.drift * static_cast<double>(config[s]) * weight_d / rate[si];
+        if (cap < k_cap) k_cap = cap;
+        rate[si] = 0.0;  // leave the scratch all-zero for the next epoch
+    }
+    // Keep the epoch's EXPECTED interaction total (fired + silent, k/p in
+    // expectation) within half the remaining budget, so budget-capped calls
+    // overshoot at most in the tail of the final epoch.
+    const auto n = static_cast<W>(config.size());
+    const W pairs_total = n * (n - 1);
+    const double p_fire = weight_d / static_cast<double>(pairs_total);
+    if (const double budget_cap = 0.5 * static_cast<double>(budget) * p_fire; budget_cap < k_cap)
+        k_cap = budget_cap;
+
+    auto k = static_cast<std::uint64_t>(k_cap);
+    if (k < epoch.min_firings) return false;  // not profitable: per-step path
+
+    // Draw the per-pair firing counts as one multinomial over the frozen
+    // weights (conditional-binomial descent of the pair tree), resolve rule
+    // nondeterminism by uniform binomial splits, and accumulate per-state
+    // consumption and net deltas.  A draw whose realized consumption
+    // exceeds some count (possible in the binomial tail — the cap above
+    // only bounds the expectation) is rejected wholesale and retried at
+    // half the length: every epoch actually applied is realizable as a
+    // firing sequence, and counts can never go negative.
+    flush_pair_tree(ctx);
+    PPSC_DASSERT(ctx.pair_tree.total() == ctx.active_weight);
+    const auto transitions = protocol_.transitions();
+    auto& cons = ctx.epoch_cons;
+    auto& delta = ctx.epoch_delta;
+    auto& touched = ctx.epoch_touched;
+    for (int attempt = 0;; ++attempt) {
+        touched.clear();
+        const auto bump = [&](StateId s, AgentCount used, AgentCount moved) {
+            const auto si = static_cast<std::size_t>(s);
+            // (cons, delta) == (0, 0) ⟺ untouched: cons only grows, and a
+            // state first touched as a post-state has delta > 0 from then on
+            // unless it also becomes a pre-state (then cons > 0).
+            if (cons[si] == 0 && delta[si] == 0) touched.push_back(s);
+            cons[si] += used;
+            delta[si] += moved;
+        };
+        ctx.pair_tree.multinomial(k, rng, [&](std::size_t pair, std::uint64_t c) {
+            const auto rules = protocol_.rules_for_pair_id(static_cast<Protocol::PairId>(pair));
+            std::uint64_t remaining = c;
+            const std::size_t num_rules = rules.size();
+            for (std::size_t j = 0; j < num_rules; ++j) {
+                // Uniform rule choice, aggregated: sequential binomial
+                // splits give each rule Multinomial(c, 1/r) marginals.
+                const std::uint64_t cj =
+                    j + 1 == num_rules
+                        ? remaining
+                        : rng.binomial(remaining, 1.0 / static_cast<double>(num_rules - j));
+                remaining -= cj;
+                if (cj == 0) continue;
+                const auto& t = transitions[static_cast<std::size_t>(rules[j])];
+                const auto cnt = static_cast<AgentCount>(cj);
+                bump(t.pre1, cnt, -cnt);
+                bump(t.pre2, cnt, -cnt);
+                bump(t.post1, 0, cnt);
+                bump(t.post2, 0, cnt);
+            }
+        });
+        bool feasible = true;
+        for (const StateId s : touched) {
+            const auto si = static_cast<std::size_t>(s);
+            if (cons[si] > config[s]) {
+                feasible = false;
+                break;
+            }
+        }
+        if (feasible) break;
+        for (const StateId s : touched) {
+            const auto si = static_cast<std::size_t>(s);
+            cons[si] = 0;
+            delta[si] = 0;
+        }
+        ++stats.rejected_draws;
+        k /= 2;
+        if (attempt >= 2 || k < epoch.min_firings) return false;
+    }
+
+    // Apply the aggregated deltas in one pass — one apply_count_delta per
+    // touched state instead of four per firing.  Application order does not
+    // matter: the incremental pair-weight formulas are exact for arbitrary
+    // deltas, so the final weights equal the weights of the final counts.
+    // Sorting keeps the Fenwick updates cache-local and the pass
+    // deterministic.
+    std::sort(touched.begin(), touched.end());
+    for (const StateId s : touched) {
+        const auto si = static_cast<std::size_t>(s);
+        if (delta[si] != 0) apply_count_delta(ctx, config, s, delta[si]);
+        cons[si] = 0;
+        delta[si] = 0;
+    }
+
+    // The silent encounters interleaved among k firings at frozen weights:
+    // NegativeBinomial(k, p) in one draw, the batched analogue of the
+    // per-step geometric silent-skip.  Clamped to the budget (the k ≤
+    // budget/2·p cap above makes clamping a tail event).
+    std::uint64_t total = k;
+    if (weight < pairs_total) {
+        const std::uint64_t silent = rng.negative_binomial(k, p_fire);
+        total = silent >= budget - k ? budget : k + silent;
+    }
+    ++stats.epochs;
+    stats.epoch_fired += k;
+    *consumed = total;
+    *fired = k;
+    return true;
+}
+
+void Simulator::merge_epoch_stats(const EpochStats& stats) const noexcept {
+    if (stats.epochs == 0 && stats.fallback_fired == 0 && stats.rejected_draws == 0) return;
+    epoch_epochs_.fetch_add(stats.epochs, std::memory_order_relaxed);
+    epoch_fired_.fetch_add(stats.epoch_fired, std::memory_order_relaxed);
+    epoch_fallback_fired_.fetch_add(stats.fallback_fired, std::memory_order_relaxed);
+    epoch_rejected_.fetch_add(stats.rejected_draws, std::memory_order_relaxed);
+}
+
 std::optional<TransitionId> Simulator::step(Config& config, Rng& rng) const {
     PPSC_CHECK_MSG(config.size() >= 2, "simulation needs at least two agents");
     if (pairs_fit_int64(config.size())) {
@@ -393,44 +566,66 @@ std::pair<StateId, StateId> Simulator::sample_pair(const Config& config, Rng& rn
 template <typename W>
 std::uint64_t Simulator::run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions,
                                         bool stop_when_stable, const CheckpointHook* hook,
-                                        std::uint64_t* fired_count) const {
+                                        std::uint64_t* fired_count, StepMode step_mode,
+                                        const EpochOptions& epoch) const {
     StepContextT<W>& ctx = cached_context<W>(config);
     std::uint64_t done = 0;
     std::uint64_t fired_total = 0;
-    // Hook cadence: the callback runs at the first fired-step boundary at or
-    // past each mark, never inside advance() — checkpointing cannot split a
-    // silent-skip draw, so the rng stream (and hence the trajectory) is the
-    // same with or without the hook, and a resumed run realigns on the same
-    // boundaries (next mark = snapshot interactions + every).
+    // Epoch batching needs the exact per-pair weight array, which only the
+    // Fenwick selection mode maintains; under scan selection epoch mode
+    // degrades to the per-step reference path (epoch_stats shows 0 epochs).
+    const bool epoch_capable =
+        step_mode == StepMode::epoch && pair_select_ == PairSelect::fenwick;
+    EpochStats stats;
+    // Hook cadence: the callback runs at the first fired-step (or epoch)
+    // boundary at or past each mark, never inside advance()/advance_epoch()
+    // — checkpointing cannot split a silent-skip or multinomial draw, so
+    // the rng stream (and hence the trajectory) is the same with or without
+    // the hook, and a resumed run realigns on the same boundaries (next
+    // mark = snapshot interactions + every).
     const bool hooked = hook != nullptr && hook->active();
     std::uint64_t next_hook = hooked ? hook->every : 0;
-    while (done < max_interactions) {
+    bool stop = false;
+    while (!stop && done < max_interactions) {
         // The O(1) stability probe (two counters + W); the silent case alone
-        // is also caught by advance() below, budget-accounted.
+        // is also caught by the advance paths below, budget-accounted.
         if (stop_when_stable && ctx.provably_stable()) break;
         std::uint64_t consumed = 0;
-        const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
-        done += consumed;
-        if (!fired && consumed == 0) break;  // silent: no interaction can fire again
-        if (fired) {
-            ++fired_total;
-            if (hooked && done >= next_hook) {
-                // Publish the context before the callback: is_silent /
-                // is_provably_stable on `config` stay O(1) inside it.
-                ctx.version = config.version();
-                if (!hook->callback({config, rng.state(), done, fired_total})) break;
-                next_hook = done + hook->every;
+        std::uint64_t fired_now = 0;
+        if (epoch_capable && advance_epoch(ctx, config, rng, max_interactions - done, epoch,
+                                           &consumed, &fired_now, stats)) {
+            done += consumed;
+            if (consumed == 0) break;  // silent: no interaction can fire again
+        } else {
+            const auto fired = advance(ctx, config, rng, max_interactions - done, &consumed);
+            done += consumed;
+            if (!fired && consumed == 0) break;  // silent
+            if (fired) {
+                fired_now = 1;
+                if (epoch_capable) ++stats.fallback_fired;
             }
+        }
+        fired_total += fired_now;
+        if (hooked && fired_now > 0 && done >= next_hook) {
+            // Publish the context before the callback: is_silent /
+            // is_provably_stable on `config` stay O(1) inside it.
+            ctx.version = config.version();
+            if (!hook->callback({config, rng.state(), done, fired_total})) stop = true;
+            next_hook = done + hook->every;
         }
     }
     ctx.version = config.version();
+    merge_epoch_stats(stats);
+    // Per-call out-param, overwritten (not accumulated): restart loops sum
+    // it themselves, so restarts are never double-counted.
     if (fired_count != nullptr) *fired_count = fired_total;
     return done;
 }
 
 std::uint64_t Simulator::run_batch(Config& config, Rng& rng, std::uint64_t max_interactions,
                                    bool stop_when_stable, const CheckpointHook* hook,
-                                   std::uint64_t* fired_count) const {
+                                   std::uint64_t* fired_count, StepMode step_mode,
+                                   const EpochOptions& epoch) const {
     // Populations of 0 or 1 agents have no ordered pairs (n(n−1) == 0):
     // no encounter can ever happen, so the batch is trivially complete.
     if (config.size() < 2) {
@@ -439,9 +634,9 @@ std::uint64_t Simulator::run_batch(Config& config, Rng& rng, std::uint64_t max_i
     }
     if (pairs_fit_int64(config.size()))
         return run_batch_impl<std::int64_t>(config, rng, max_interactions, stop_when_stable,
-                                            hook, fired_count);
+                                            hook, fired_count, step_mode, epoch);
     return run_batch_impl<Int128>(config, rng, max_interactions, stop_when_stable, hook,
-                                  fired_count);
+                                  fired_count, step_mode, epoch);
 }
 
 std::optional<TransitionId> Simulator::fired_step(Config& config, Rng& rng, std::uint64_t budget,
@@ -473,27 +668,46 @@ SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
     StepContextT<W> ctx;
     init_context(ctx, config);
 
-    // Resume support: a run restored from a checkpoint starts its counter
-    // where the snapshot left off, so (config, rng state, interactions)
-    // evolves exactly as the uninterrupted run's tail.
+    // Resume support: a run restored from a checkpoint starts its counters
+    // where the snapshot left off, so (config, rng state, interactions,
+    // fired) evolves exactly as the uninterrupted run's tail — and the
+    // snapshots a resumed run writes carry the same totals the
+    // uninterrupted run would have written (no double- or under-counting
+    // across restarts).
     std::uint64_t interactions = options.initial_interactions;
-    std::uint64_t fired_total = 0;
+    std::uint64_t fired_total = options.initial_fired;
     bool converged = ctx.provably_stable();
 
+    const bool epoch_capable =
+        options.step_mode == StepMode::epoch && pair_select_ == PairSelect::fenwick;
+    EpochStats stats;
     const bool hooked = options.checkpoint.active();
     std::uint64_t next_hook = hooked ? interactions + options.checkpoint.every : 0;
     while (!converged && interactions < options.max_interactions) {
         std::uint64_t consumed = 0;
-        const auto fired =
-            advance(ctx, config, rng, options.max_interactions - interactions, &consumed);
-        interactions += consumed;
-        if (!fired) {
-            if (consumed == 0) converged = true;  // silent
-            continue;  // else: budget exhausted, loop condition exits
+        std::uint64_t fired_now = 0;
+        if (epoch_capable &&
+            advance_epoch(ctx, config, rng, options.max_interactions - interactions,
+                          options.epoch, &consumed, &fired_now, stats)) {
+            interactions += consumed;
+            if (consumed == 0) {
+                converged = true;  // silent
+                continue;
+            }
+        } else {
+            const auto fired =
+                advance(ctx, config, rng, options.max_interactions - interactions, &consumed);
+            interactions += consumed;
+            if (!fired) {
+                if (consumed == 0) converged = true;  // silent
+                continue;  // else: budget exhausted, loop condition exits
+            }
+            fired_now = 1;
+            if (epoch_capable) ++stats.fallback_fired;
         }
-        ++fired_total;
+        fired_total += fired_now;
         converged = ctx.provably_stable();
-        // Fired-step-boundary checkpointing (see CheckpointHook): the
+        // Fired-step/epoch-boundary checkpointing (see CheckpointHook): the
         // callback neither consumes randomness nor alters the trajectory.
         // Skipped once converged — the final state is the caller's result.
         if (hooked && !converged && interactions >= next_hook) {
@@ -502,8 +716,10 @@ SimulationResult Simulator::run_impl(Config&& config, Rng& rng,
             next_hook = interactions + options.checkpoint.every;
         }
     }
+    merge_epoch_stats(stats);
 
-    SimulationResult result{std::move(config), interactions, converged, std::nullopt, 0.0};
+    SimulationResult result{std::move(config), interactions, fired_total, converged,
+                            std::nullopt, 0.0};
     result.output = protocol_.consensus_output(result.final_config);
     result.parallel_time =
         static_cast<double>(interactions) / static_cast<double>(population);

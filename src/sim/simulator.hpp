@@ -32,6 +32,22 @@
 //      workload has millions), while dense-regime stepping keeps its
 //      O(deg) cost.  Protocols with only a handful of non-silent pairs
 //      stay on the (there faster) scan automatically.
+//   5. Epoch-batched stepping (StepMode::epoch, opt-in): when the
+//      pair-weight structure drifts slowly — the dense merge phases of the
+//      E11 double-exponential workloads — k fired steps are drawn as ONE
+//      multinomial over the pair-weight Fenwick (conditional-binomial
+//      descent) and applied as aggregated per-state count deltas in one
+//      pass, with the run of silent encounters folded in as a single
+//      negative-binomial draw.  Unlike ideas 1-4, which are trajectory-
+//      identical per seed, epoch batching freezes the weights across the
+//      epoch and is therefore *distribution*-level: the epoch length is
+//      capped so no state's expected consumption exceeds a small fraction
+//      of its count (EpochOptions::drift), infeasible draws are rejected
+//      and retried at half the length, and the engine falls back to the
+//      exact per-step reference path whenever an epoch is not profitable.
+//      Equivalence is established statistically (chi-squared on firing
+//      counts, two-sample tests on convergence times — see
+//      tests/support_stats/ and docs/ARCHITECTURE.md).
 //
 // All encounter resolution goes through Protocol::pair_id — PairIds over
 // the non-silent pairs only — so the engine is agnostic to the protocol's
@@ -76,6 +92,7 @@
 // either; concurrently with run()/run_input() they are fine.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -97,8 +114,13 @@ namespace ppsc {
 struct CheckpointTick {
     const Config& config;
     std::uint64_t rng_state = 0;
-    std::uint64_t interactions = 0;  ///< interactions executed in this call
-    std::uint64_t fired = 0;         ///< non-silent interactions in this call
+    /// Interactions executed in this call — run() adds the resumed-from base
+    /// (SimulationOptions::initial_interactions), run_batch callers add
+    /// their own.
+    std::uint64_t interactions = 0;
+    /// Non-silent interactions, same accounting as `interactions`
+    /// (run() adds SimulationOptions::initial_fired).
+    std::uint64_t fired = 0;
 };
 
 /// Checkpoint-every-N-interactions hook for run()/run_batch().  The
@@ -117,6 +139,46 @@ struct CheckpointHook {
     bool active() const noexcept { return every != 0 && callback != nullptr; }
 };
 
+/// How run()/run_batch() advance the chain between stability checks.
+/// `per_step` is the exact reference: one weight-proportional draw per
+/// fired interaction (with the geometric silent-skip), trajectory-identical
+/// per seed across all other engine options.  `epoch` batches fired steps
+/// into multinomial epochs whenever the weight structure is drifting slowly
+/// enough (see EpochOptions) and falls back to the per-step path otherwise —
+/// distribution-identical rather than trajectory-identical, and validated by
+/// the statistical-equivalence suite.
+enum class StepMode { per_step, epoch };
+
+/// Tuning knobs of the epoch-batched path.  An epoch of k fired steps is
+/// taken only when k — capped so that no state's *expected* consumption
+/// across the epoch exceeds `drift` of its current count, and so the
+/// expected interactions stay within half the remaining budget — reaches
+/// `min_firings`; otherwise the engine serves the step from the exact
+/// per-step reference path.  Draws whose realized consumption exceeds some
+/// count (possible in the binomial tail) are rejected wholesale and retried
+/// at half the length, so counts never go negative and every epoch applied
+/// is a realizable firing sequence.
+struct EpochOptions {
+    /// Max expected fraction of any state's count consumed per epoch.
+    double drift = 0.125;
+    /// Floor below which an epoch is not worth its fixed costs.
+    std::uint64_t min_firings = 32;
+    /// Hard per-epoch cap — bounds the scratch work between stability and
+    /// checkpoint probes (which run at epoch boundaries only).
+    std::uint64_t max_firings = std::uint64_t{1} << 22;
+};
+
+/// Counters describing how the epoch path engaged (per Simulator,
+/// accumulated across calls; see Simulator::epoch_stats).  Tests use them
+/// to assert the multinomial path actually ran; benchmarks to report the
+/// epoch/fallback mix.
+struct EpochStats {
+    std::uint64_t epochs = 0;          ///< multinomial epochs applied
+    std::uint64_t epoch_fired = 0;     ///< fired interactions drawn in epochs
+    std::uint64_t fallback_fired = 0;  ///< fired on the per-step path in epoch mode
+    std::uint64_t rejected_draws = 0;  ///< infeasible epoch draws retried/abandoned
+};
+
 struct SimulationOptions {
     /// Hard cap on interactions before giving up.
     std::uint64_t max_interactions = 50'000'000;
@@ -125,14 +187,25 @@ struct SimulationOptions {
     /// in the reported totals, so resuming a run at its checkpoint replays
     /// the uninterrupted run's tail byte-identically.
     std::uint64_t initial_interactions = 0;
+    /// Resume support for the fired counter: non-silent interactions
+    /// executed before this call.  Included in SimulationResult::fired and
+    /// in checkpoint ticks, so snapshots written by a resumed run carry the
+    /// same totals the uninterrupted run would have written.
+    std::uint64_t initial_fired = 0;
     /// Periodic checkpointing along the run (tick interactions are absolute,
-    /// i.e. include initial_interactions; tick fired counts this call).
+    /// i.e. include initial_interactions; tick fired counts include
+    /// initial_fired).
     CheckpointHook checkpoint;
+    /// Exact per-step reference vs. epoch-batched stepping (see StepMode).
+    StepMode step_mode = StepMode::per_step;
+    /// Epoch tuning, read only when step_mode == StepMode::epoch.
+    EpochOptions epoch;
 };
 
 struct SimulationResult {
     Config final_config;
     std::uint64_t interactions = 0;   ///< total interactions executed
+    std::uint64_t fired = 0;          ///< non-silent interactions executed
     bool converged = false;           ///< a sound stability condition fired
     std::optional<int> output;        ///< consensus output of the final config
     double parallel_time = 0.0;       ///< interactions / population
@@ -192,11 +265,37 @@ public:
     /// active, is invoked at fired-step boundaries every ≥ hook->every
     /// interactions (see CheckpointHook — the trajectory is unchanged by
     /// it); `fired_count`, when non-null, receives the number of non-silent
-    /// interactions executed by this call.  Not thread-safe.
+    /// interactions executed by this call — per call, not accumulated across
+    /// calls: restart loops must sum the out-param themselves.  With
+    /// `step_mode == StepMode::epoch` (and Fenwick pair selection) fired
+    /// steps are served in multinomial epochs where profitable — hooks and
+    /// stability probes then run at epoch boundaries; the interaction/fired
+    /// accounting is unchanged.  Not thread-safe.
     std::uint64_t run_batch(Config& config, Rng& rng, std::uint64_t max_interactions,
                             bool stop_when_stable = false,
                             const CheckpointHook* hook = nullptr,
-                            std::uint64_t* fired_count = nullptr) const;
+                            std::uint64_t* fired_count = nullptr,
+                            StepMode step_mode = StepMode::per_step,
+                            const EpochOptions& epoch = {}) const;
+
+    /// Snapshot of the epoch-path counters accumulated by this simulator
+    /// (across run/run_batch calls in epoch mode; all zero otherwise).
+    /// Reads are thread-safe; concurrent epoch-mode runs accumulate
+    /// atomically.
+    EpochStats epoch_stats() const noexcept {
+        return {epoch_epochs_.load(std::memory_order_relaxed),
+                epoch_fired_.load(std::memory_order_relaxed),
+                epoch_fallback_fired_.load(std::memory_order_relaxed),
+                epoch_rejected_.load(std::memory_order_relaxed)};
+    }
+
+    /// Zeroes the epoch counters (test scaffolding).
+    void reset_epoch_stats() const noexcept {
+        epoch_epochs_.store(0, std::memory_order_relaxed);
+        epoch_fired_.store(0, std::memory_order_relaxed);
+        epoch_fallback_fired_.store(0, std::memory_order_relaxed);
+        epoch_rejected_.store(0, std::memory_order_relaxed);
+    }
 
     /// Advances the chain to its next *fired* interaction: consumes the
     /// (geometrically distributed) run of silent encounters, then fires one
@@ -266,6 +365,16 @@ private:
         /// Maintained in apply_count_delta, so stability probes along a
         /// trajectory are O(1) counter reads.
         AgentCount outside_trap[2] = {0, 0};
+        /// Epoch-mode scratch, lazily sized to |Q| and kept all-zero between
+        /// epochs via the touched lists (clearing is O(|touched|), so the
+        /// per-epoch cost never scales with |Q|): per-state expected
+        /// consumption rate (in units of W), realized consumption of the
+        /// current draw, net count delta of the current draw.
+        std::vector<double> epoch_rate;
+        std::vector<AgentCount> epoch_cons;
+        std::vector<AgentCount> epoch_delta;
+        std::vector<StateId> epoch_rate_touched;
+        std::vector<StateId> epoch_touched;
         const Config* owner = nullptr;
         std::uint64_t version = 0;
 
@@ -324,12 +433,29 @@ private:
     std::optional<TransitionId> advance(StepContextT<W>& ctx, Config& config, Rng& rng,
                                         std::uint64_t budget, std::uint64_t* consumed) const;
 
+    /// Serves up to one epoch of fired steps as a single multinomial draw
+    /// over the pair-weight Fenwick, applied as aggregated per-state count
+    /// deltas in one pass, plus one negative-binomial draw for the silent
+    /// encounters interleaved among them.  Returns false when no profitable
+    /// epoch exists at the current weights (the caller takes the exact
+    /// per-step path); returns true with *consumed == 0 iff the
+    /// configuration is silent.  Requires Fenwick pair selection.
+    /// `stats` accumulates the local counters (merged into the atomics once
+    /// per run_batch/run call).
+    template <typename W>
+    bool advance_epoch(StepContextT<W>& ctx, Config& config, Rng& rng, std::uint64_t budget,
+                       const EpochOptions& epoch, std::uint64_t* consumed, std::uint64_t* fired,
+                       EpochStats& stats) const;
+
+    void merge_epoch_stats(const EpochStats& stats) const noexcept;
+
     template <typename W>
     SimulationResult run_impl(Config&& config, Rng& rng, const SimulationOptions& options) const;
     template <typename W>
     std::uint64_t run_batch_impl(Config& config, Rng& rng, std::uint64_t max_interactions,
                                  bool stop_when_stable, const CheckpointHook* hook,
-                                 std::uint64_t* fired_count) const;
+                                 std::uint64_t* fired_count, StepMode step_mode,
+                                 const EpochOptions& epoch) const;
 
     // Owned copy: simulators are long-lived; never dangle on a temporary.
     Protocol protocol_;
@@ -340,6 +466,13 @@ private:
     /// outside_mask_[q]: bit b set ⟺ q lies *outside* trap b — one byte
     /// load resolves both per-trap counter updates on the count-delta path.
     std::vector<std::uint8_t> outside_mask_;
+
+    // Epoch-path counters (EpochStats), relaxed atomics so thread-safe
+    // run() calls in epoch mode can accumulate concurrently.
+    mutable std::atomic<std::uint64_t> epoch_epochs_{0};
+    mutable std::atomic<std::uint64_t> epoch_fired_{0};
+    mutable std::atomic<std::uint64_t> epoch_fallback_fired_{0};
+    mutable std::atomic<std::uint64_t> epoch_rejected_{0};
 
     mutable StepContextT<std::int64_t> cache64_;
     mutable StepContextT<Int128> cache128_;

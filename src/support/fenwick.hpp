@@ -81,6 +81,24 @@ public:
         return prefix_sum(i + 1) - prefix_sum(i);
     }
 
+    /// Distributes `count` independent weight-proportional categorical draws
+    /// over the slots in one pass: a top-down conditional-binomial walk of
+    /// the index range (split the range, draw Binomial(k, W_left/W) for the
+    /// left half, recurse into both halves, prune zero-draw and zero-weight
+    /// subtrees).  Marginally each slot receives Binomial(count, w_i/W) and
+    /// jointly the vector is exactly Multinomial(count, w/W) — identical in
+    /// distribution to `count` sequential sample() calls, in
+    /// O(A·log²n + count_splits) instead of O(count·log n), where A is the
+    /// number of weight-bearing slots.  Conditional probabilities are formed
+    /// in double precision.  Calls emit(slot, c) once per slot with c > 0.
+    /// Requires total() > 0 when count > 0.
+    template <typename RngT, typename Emit>
+    void multinomial(std::uint64_t count, RngT& rng, Emit&& emit) const {
+        if (count == 0 || size_ == 0) return;
+        PPSC_CHECK(total_ > 0);
+        multinomial_split(0, size_, count, total_, rng, emit);
+    }
+
     /// The smallest index i with prefix_sum(i+1) > r, i.e. the slot holding
     /// rank `r`.  Requires 0 ≤ r < total().  O(log n).
     std::size_t sample(Weight r) const {
@@ -97,6 +115,31 @@ public:
     }
 
 private:
+    template <typename RngT, typename Emit>
+    void multinomial_split(std::size_t lo, std::size_t hi, std::uint64_t count, Weight weight,
+                           RngT& rng, Emit& emit) const {
+        while (hi - lo > 1) {
+            const std::size_t mid = lo + (hi - lo) / 2;
+            const Weight left = prefix_sum(mid) - prefix_sum(lo);
+            if (left == weight) {  // right half weightless: all draws go left
+                hi = mid;
+                continue;
+            }
+            if (left == 0) {  // left half weightless: all draws go right
+                lo = mid;
+                continue;
+            }
+            const std::uint64_t count_left =
+                rng.binomial(count, static_cast<double>(left) / static_cast<double>(weight));
+            if (count_left > 0) multinomial_split(lo, mid, count_left, left, rng, emit);
+            count -= count_left;
+            if (count == 0) return;
+            lo = mid;
+            weight -= left;
+        }
+        emit(lo, count);
+    }
+
     std::vector<Weight> tree_;  // 1-based implicit binary indexed tree
     std::size_t size_ = 0;
     std::size_t top_mask_ = 0;  // largest power of two ≤ size_

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "protocols/double_exp_threshold.hpp"
 #include "protocols/majority.hpp"
 #include "protocols/threshold.hpp"
 #include "sim/experiment.hpp"
@@ -260,6 +261,133 @@ TEST(ParallelSweep, ZeroTrialsAndEmptyPopulationsReturnCleanly) {
 
     ConvergenceSweepOptions defaults;
     EXPECT_TRUE(convergence_sweep(p, {}, expected, defaults).empty());
+}
+
+TEST(RunBatch, FiredCountIsPerCallAndSumsCleanlyAcrossRestarts) {
+    // The fired-count out-param is a *per-call* total, overwritten on every
+    // call — restart loops (e11_throughput_sweep) sum it themselves, so a
+    // stale value must never leak from one call into the next.
+    const Protocol p = protocols::double_exp_threshold(2);
+    const Simulator sim(p, PairSelect::fenwick);
+    sim.reset_epoch_stats();
+
+    for (const StepMode mode : {StepMode::per_step, StepMode::epoch}) {
+        Rng rng(0xF1ED ^ static_cast<std::uint64_t>(mode));
+        Config config = p.initial_config(20'000);
+        std::uint64_t total_done = 0;
+        std::uint64_t total_fired = 0;
+        std::uint64_t fired_call = 0;
+        for (int round = 0; round < 64; ++round) {
+            const std::uint64_t chunk = 1 << 16;
+            const std::uint64_t got =
+                sim.run_batch(config, rng, chunk, false, nullptr, &fired_call, mode);
+            EXPECT_LE(fired_call, got) << "a call cannot fire more than it consumed";
+            total_done += got;
+            total_fired += fired_call;
+            if (got < chunk) config = p.initial_config(20'000);  // silent: restart
+        }
+        EXPECT_GT(total_fired, 0u);
+        EXPECT_LT(total_fired, total_done);  // silent skips dominate eventually
+
+        // Overwrite semantics: a silent config consumes and fires nothing,
+        // and the out-param must say so rather than keep its old value.
+        Config silent = Config::single(p.num_states(), *p.find_state("T"), 100);
+        fired_call = 0xDEAD;
+        EXPECT_EQ(sim.run_batch(silent, rng, 1'000, false, nullptr, &fired_call, mode), 0u);
+        EXPECT_EQ(fired_call, 0u);
+    }
+
+    // Epoch-mode accounting cross-check: this simulator's counters saw only
+    // the loops above, so every fired interaction is either epoch-batched
+    // or a per-step fallback — per-call sums and global stats must agree
+    // on where each firing went (no double-counting across restarts).
+    const EpochStats stats = sim.epoch_stats();
+    EXPECT_GT(stats.epochs, 0u);
+    EXPECT_GT(stats.epoch_fired, 0u);
+    Rng check_rng(0xF1ED ^ static_cast<std::uint64_t>(StepMode::epoch));
+    Config config = p.initial_config(20'000);
+    std::uint64_t epoch_fired_sum = 0;
+    std::uint64_t fired_call = 0;
+    for (int round = 0; round < 64; ++round) {
+        const std::uint64_t got = sim.run_batch(config, check_rng, 1 << 16, false, nullptr,
+                                                &fired_call, StepMode::epoch);
+        epoch_fired_sum += fired_call;
+        if (got < (1u << 16)) config = p.initial_config(20'000);
+    }
+    EXPECT_EQ(epoch_fired_sum, stats.epoch_fired + stats.fallback_fired)
+        << "per-call fired sums must partition into epoch_fired + fallback_fired";
+}
+
+TEST(BatchedRun, ResumedRunsReportAbsoluteFiredTotals) {
+    // A run resumed from a checkpoint starts its interaction *and* fired
+    // counters at the snapshot's values (SimulationOptions::initial_fired):
+    // the ticks it writes and the result it returns must carry the same
+    // absolute totals the uninterrupted run reports — under both stepping
+    // modes, whose boundaries the hook rides.
+    const Protocol p = protocols::collector_threshold(6);
+    const Simulator sim(p, PairSelect::fenwick);
+    struct Tick {
+        std::uint64_t interactions;
+        std::uint64_t fired;
+    };
+
+    for (const StepMode mode : {StepMode::per_step, StepMode::epoch}) {
+        const std::uint64_t seed = 0xC0FFEE ^ static_cast<std::uint64_t>(mode);
+        SimulationOptions options;
+        options.step_mode = mode;
+        options.epoch.min_firings = 4;
+        options.checkpoint.every = 512;
+
+        // Reference: the uninterrupted run and its full tick sequence.
+        std::vector<Tick> reference;
+        options.checkpoint.callback = [&](const CheckpointTick& tick) {
+            reference.push_back({tick.interactions, tick.fired});
+            return true;
+        };
+        Rng ref_rng(seed);
+        const SimulationResult full = sim.run(p.initial_config(300), ref_rng, options);
+        ASSERT_TRUE(full.converged);
+        ASSERT_GE(reference.size(), 2u) << "workload too small to checkpoint twice";
+
+        // Interrupt at the first tick, capturing the snapshot by hand.
+        Config snap_config(p.num_states());
+        std::uint64_t snap_rng_state = 0;
+        Tick snap{0, 0};
+        options.checkpoint.callback = [&](const CheckpointTick& tick) {
+            snap_config = tick.config;
+            snap_rng_state = tick.rng_state;
+            snap = {tick.interactions, tick.fired};
+            return false;  // graceful stop
+        };
+        Rng cut_rng(seed);
+        const SimulationResult partial = sim.run(p.initial_config(300), cut_rng, options);
+        EXPECT_FALSE(partial.converged);
+        EXPECT_EQ(partial.interactions, reference.front().interactions);
+        EXPECT_EQ(partial.fired, reference.front().fired);
+
+        // Resume: counters seeded from the snapshot, stream from its state.
+        std::vector<Tick> resumed;
+        options.initial_interactions = snap.interactions;
+        options.initial_fired = snap.fired;
+        options.checkpoint.callback = [&](const CheckpointTick& tick) {
+            resumed.push_back({tick.interactions, tick.fired});
+            return true;
+        };
+        Rng resume_rng(0);
+        resume_rng.set_state(snap_rng_state);
+        const SimulationResult tail = sim.run(std::move(snap_config), resume_rng, options);
+        ASSERT_TRUE(tail.converged);
+        EXPECT_EQ(tail.interactions, full.interactions);
+        EXPECT_EQ(tail.fired, full.fired);
+        EXPECT_TRUE(tail.final_config == full.final_config);
+        // The resumed ticks are exactly the uninterrupted run's tail: same
+        // boundaries, same absolute totals — no double- or under-counting.
+        ASSERT_EQ(resumed.size() + 1, reference.size());
+        for (std::size_t i = 0; i < resumed.size(); ++i) {
+            EXPECT_EQ(resumed[i].interactions, reference[i + 1].interactions) << "tick " << i;
+            EXPECT_EQ(resumed[i].fired, reference[i + 1].fired) << "tick " << i;
+        }
+    }
 }
 
 TEST(ParallelSweep, DefaultParallelismMatchesSerial) {

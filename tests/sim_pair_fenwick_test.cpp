@@ -2,7 +2,8 @@
 // per-seed equivalence with the reference O(#pairs) cumulative scan
 // (PairSelect::scan), an exhaustive small-protocol sweep mirroring
 // support_fenwick_test, and a chi-squared goodness-of-fit check of the
-// fired-pair distribution against the exact conditional law w_pair / W.
+// fired-pair distribution against the exact conditional law w_pair / W
+// (through the shared statistical harness, support/stat_test.hpp).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include "protocols/double_exp_threshold.hpp"
 #include "protocols/threshold.hpp"
 #include "sim/simulator.hpp"
+#include "support/stat_test.hpp"
 
 namespace ppsc {
 namespace {
@@ -61,8 +63,8 @@ TEST(PairWeightFenwick, FiredPairDistributionPassesChiSquared) {
     }
 
     const int samples = 20'000;
-    std::map<std::pair<StateId, StateId>, int> observed;
-    Rng rng(314159);
+    std::map<std::pair<StateId, StateId>, std::uint64_t> observed;
+    Rng rng(stat::derive_seed(314159, "fired-pair-gof"));
     for (int trial = 0; trial < samples; ++trial) {
         Config config = base;
         const auto fired = simulator.fired_step(config, rng, std::uint64_t{1} << 40);
@@ -71,19 +73,21 @@ TEST(PairWeightFenwick, FiredPairDistributionPassesChiSquared) {
         ++observed[{t.pre1, t.pre2}];
     }
 
-    double chi2 = 0.0;
-    int cells = 0;
+    // 15 pair cells → 14 degrees of freedom at α = 10⁻³ (the harness pulls
+    // the critical value, ≈ 36.1, from its pinned table).  The seed is
+    // fixed, so the test is deterministic.
+    std::vector<std::uint64_t> counts;
+    std::vector<double> weights;
     for (const auto& [pair, w] : weight) {
-        const double expected = w / total_weight * samples;
-        ASSERT_GT(expected, 5.0);  // chi-squared validity
-        const double diff = observed[pair] - expected;
-        chi2 += diff * diff / expected;
-        ++cells;
+        counts.push_back(observed[pair]);
+        weights.push_back(w);
     }
-    // 15 pair cells → 14 degrees of freedom; the 99.9th percentile of
-    // χ²(14) is ≈ 36.1.  The seed is fixed, so the test is deterministic.
-    EXPECT_EQ(cells, 15);
-    EXPECT_LT(chi2, 36.1) << "fired-pair distribution deviates from w/W";
+    const stat::GofResult gof = stat::chi_squared_gof(counts, weights);
+    EXPECT_EQ(gof.cells, 15u);
+    EXPECT_EQ(gof.df, 14);
+    EXPECT_NEAR(gof.critical, 36.123, 1e-3);
+    EXPECT_TRUE(gof.pass) << "fired-pair distribution deviates from w/W: X² = " << gof.statistic
+                          << " > " << gof.critical << " (p = " << gof.p_value << ")";
 }
 
 TEST(PairWeightFenwick, TrajectoriesMatchTheReferenceScanPerSeed) {
