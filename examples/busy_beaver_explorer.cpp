@@ -22,6 +22,7 @@ int main(int argc, char** argv) try {
     if (argc > 1) {
         errno = 0;
         char* end = nullptr;
+        // ppsc-lint: allow(R5) end pointer, full token, ERANGE and range are all checked on the next line
         const unsigned long long value = std::strtoull(argv[1], &end, 10);
         if (end == argv[1] || *end != '\0' || errno == ERANGE || value < 2 || value > 3) {
             std::fprintf(stderr, "n must be 2 or 3 (exhaustive search), got '%s'\n", argv[1]);

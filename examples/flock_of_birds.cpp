@@ -23,6 +23,7 @@ int main(int argc, char** argv) try {
     if (argc > 1) {
         errno = 0;
         char* end = nullptr;
+        // ppsc-lint: allow(R5) end pointer, full token, ERANGE and range are all checked on the next line
         const long long value = std::strtoll(argv[1], &end, 10);
         if (end == argv[1] || *end != '\0' || errno == ERANGE || value < 2 ||
             value > (1ll << 30)) {

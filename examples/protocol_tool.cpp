@@ -33,8 +33,8 @@
 // an uninterrupted one:
 //
 //   $ ./protocol_tool family double_exp 3 > d3.pp
-//   $ ./protocol_tool longrun d3.pp 512 100000000 7 \
-//         --checkpoint-dir ck --checkpoint-every 1000000
+//   $ ./protocol_tool longrun d3.pp 512 100000000 7 --checkpoint-dir ck
+//         --checkpoint-every 1000000   (one command line)
 //   ^C   (or SIGKILL — the rotation keeps the last snapshots)
 //   $ ./protocol_tool longrun d3.pp 512 100000000 7 --checkpoint-dir ck --resume
 #include <cerrno>
@@ -120,6 +120,7 @@ Protocol load(const char* path) {
 /// Strict numeric argument parsing: the whole token must be a number in
 /// [min, max] — "12x", "", and out-of-range values all get a one-line
 /// diagnostic instead of strtoll's silent 0.
+// ppsc-lint: validated-parser (end pointer, full token, ERANGE, and range checked below)
 std::int64_t parse_int(const char* what, const char* text, std::int64_t min, std::int64_t max) {
     errno = 0;
     char* end = nullptr;

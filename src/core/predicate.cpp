@@ -83,7 +83,7 @@ std::size_t node_arity(const Predicate::Node& node) {
         case Kind::kOr:
             return std::max(child_arity(node.left), child_arity(node.right));
     }
-    PPSC_CHECK(false);
+    PPSC_UNREACHABLE();
 }
 
 std::int64_t weighted_sum(const std::vector<std::int64_t>& coeffs,
@@ -111,7 +111,7 @@ bool node_evaluate(const Predicate::Node& node, std::span<const AgentCount> inpu
         case Kind::kOr:
             return node_evaluate(*node.left, input) || node_evaluate(*node.right, input);
     }
-    PPSC_CHECK(false);
+    PPSC_UNREACHABLE();
 }
 
 void node_print(const Predicate::Node& node, std::ostringstream& os) {
@@ -179,7 +179,7 @@ Predicate::Kind Predicate::kind() const {
         case Node::Kind::kOr:
             return Kind::kOr;
     }
-    PPSC_CHECK(false);
+    PPSC_UNREACHABLE();
 }
 
 const std::vector<std::int64_t>& Predicate::coefficients() const {

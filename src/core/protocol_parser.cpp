@@ -68,9 +68,16 @@ Protocol parse_protocol(std::string_view text) {
             if (tokens.size() != 3) fail(line_number, "expected: leaders <state> <count>");
             AgentCount count = 0;
             try {
-                count = std::stoll(tokens[2]);
-            } catch (...) {
+                // Full-token parse: "12x" must be rejected, not read as 12
+                // (found by ppsc-lint R5 — stoll alone accepts any prefix).
+                std::size_t used = 0;
+                // ppsc-lint: allow(R5) full-token check directly below; a typed fail() on any violation
+                count = std::stoll(tokens[2], &used);
+                if (used != tokens[2].size()) fail(line_number, "count must be an integer");
+            } catch (const std::invalid_argument&) {
                 fail(line_number, "count must be an integer");
+            } catch (const std::out_of_range&) {
+                fail(line_number, "count out of range");
             }
             try {
                 b.add_leaders(lookup(tokens[1], line_number), count);

@@ -35,6 +35,7 @@ constexpr std::array<ProtocolFamily, 9> kFamilies = {{
      "x >= eta for arbitrary-precision eta with O(log eta) states", "19"},
 }};
 
+// ppsc-lint: validated-parser (full-token check: used must equal value.size, typed error otherwise)
 long long parse_int(std::string_view family, std::string_view value) {
     std::size_t used = 0;
     long long parsed = 0;

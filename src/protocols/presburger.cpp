@@ -35,7 +35,7 @@ Protocol compile_node(const Predicate& predicate, std::size_t arity) {
             return product(compile_node(predicate.left(), arity),
                            compile_node(predicate.right(), arity), combine_or());
     }
-    PPSC_CHECK(false);
+    PPSC_UNREACHABLE();
 }
 
 std::size_t count_states(const Predicate& predicate, std::size_t arity) {
@@ -57,7 +57,7 @@ std::size_t count_states(const Predicate& predicate, std::size_t arity) {
             return count_states(predicate.left(), arity) *
                    count_states(predicate.right(), arity);
     }
-    PPSC_CHECK(false);
+    PPSC_UNREACHABLE();
 }
 
 }  // namespace

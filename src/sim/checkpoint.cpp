@@ -361,6 +361,7 @@ std::vector<std::pair<std::uint64_t, std::string>> CheckpointDir::slots() const 
             digits.find_first_not_of("0123456789") != std::string::npos)
             continue;
         errno = 0;
+        // ppsc-lint: allow(R5) digits pre-validated as pure ASCII decimal above; ERANGE checked below
         const std::uint64_t seq = std::strtoull(digits.c_str(), nullptr, 10);
         if (errno != 0) continue;
         found.emplace_back(seq, name);

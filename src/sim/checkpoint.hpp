@@ -71,6 +71,10 @@ enum class CheckpointError {
 const char* checkpoint_error_name(CheckpointError error) noexcept;
 
 /// The resumable state of one trajectory (plus harness counters).
+/// R3-scoped: every field must round-trip bit-exactly through the on-disk
+/// format — integral counters and the sparse counts do trivially; the only
+/// floating state (inside RunningStats) travels as IEEE-754 bit images.
+// ppsc-lint: serialized-state
 struct Checkpoint {
     std::uint64_t fingerprint = 0;    ///< protocol_fingerprint() of the owner
     Config config{0};                 ///< the counts; everything else is rebuilt

@@ -337,6 +337,7 @@ std::optional<TransitionId> Simulator::advance(StepContextT<W>& ctx, Config& con
     // non-silent, is weight-proportional over the non-silent pairs.  Both
     // selection modes resolve the same rank draw over the same weights in
     // the same order, so they fire identical transitions per seed.
+    // ppsc-lint: allow(R4) below128(b) < b by contract and weight is a W value, so the rank fits W
     const auto r = static_cast<W>(rng.below128(static_cast<unsigned __int128>(weight)));
     Protocol::PairId chosen_pair = Protocol::kNoPair;
     if (pair_select_ == PairSelect::fenwick) {

@@ -12,6 +12,13 @@
 namespace ppsc {
 
 /// Welford online mean/variance plus min/max.
+///
+/// Serialized by sim/checkpoint.cpp (the five raw fields travel in the
+/// snapshot payload), so the persisted layout is R3-scoped: the double
+/// members are permitted only because they are encoded as IEEE-754 bit
+/// images in a u64 (memcpy both ways, no text round-trip, no rounding) —
+/// restore() is bit-exact by construction and the golden-file test pins it.
+// ppsc-lint: serialized-state
 class RunningStats {
 public:
     void add(double x) noexcept {
@@ -52,9 +59,13 @@ public:
 
 private:
     std::uint64_t count_ = 0;
+    // ppsc-lint: allow(R3) serialized as IEEE-754 bit images in u64 (checkpoint.cpp put_f64/f64) — bit-exact
     double mean_ = 0.0;
+    // ppsc-lint: allow(R3) serialized as IEEE-754 bit images in u64 — bit-exact round trip
     double m2_ = 0.0;
+    // ppsc-lint: allow(R3) serialized as IEEE-754 bit images in u64 — sentinel infinities included
     double min_ = std::numeric_limits<double>::infinity();
+    // ppsc-lint: allow(R3) serialized as IEEE-754 bit images in u64 — sentinel infinities included
     double max_ = -std::numeric_limits<double>::infinity();
 };
 

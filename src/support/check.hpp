@@ -20,11 +20,45 @@ namespace ppsc {
     throw std::logic_error(os.str());
 }
 
+/// Checked narrowing conversion: static_cast plus a round-trip + sign
+/// check, throwing (via PPSC_CHECK) when the value does not fit the target
+/// type.  The ppsc-lint rule R4 requires every narrowing cast out of the
+/// __int128 weight lanes to go through this helper (or carry a suppression
+/// arguing the range bound): silent truncation there corrupts sampling
+/// distributions without failing any functional test.  Works for any pair
+/// of integer types including __int128, which has no std::is_signed under
+/// -std=c++20 (no GNU extensions), hence the homegrown signedness probes.
+template <typename To, typename From>
+constexpr To checked_narrow(From value) {
+    constexpr bool from_signed = static_cast<From>(-1) < static_cast<From>(0);
+    constexpr bool to_signed = static_cast<To>(-1) < static_cast<To>(0);
+    const To narrowed = static_cast<To>(value);
+    bool fits = static_cast<From>(narrowed) == value;
+    if constexpr (from_signed && !to_signed) {
+        fits = fits && value >= static_cast<From>(0);
+    } else if constexpr (!from_signed && to_signed) {
+        fits = fits && narrowed >= static_cast<To>(0);
+    }
+    if (!fits) check_failed("checked_narrow: value fits target type", __FILE__, __LINE__, {});
+    return narrowed;
+}
+
 }  // namespace ppsc
 
 #define PPSC_CHECK(expr)                                              \
     do {                                                              \
         if (!(expr)) ::ppsc::check_failed(#expr, __FILE__, __LINE__, {}); \
+    } while (false)
+
+// Marks code that an exhaustive switch (or equivalent) proves dead.  The
+// check_failed call reports corruption if it is ever reached anyway; the
+// trailing __builtin_unreachable() keeps -Wreturn-type quiet even under
+// -fsanitize=thread, whose instrumentation defeats GCC's [[noreturn]]
+// propagation at the call site.
+#define PPSC_UNREACHABLE()                                                           \
+    do {                                                                             \
+        ::ppsc::check_failed("unreachable code reached", __FILE__, __LINE__, {});    \
+        __builtin_unreachable();                                                     \
     } while (false)
 
 #define PPSC_CHECK_MSG(expr, msg)                                     \

@@ -32,14 +32,17 @@ public:
     std::uint64_t below(std::uint64_t bound) noexcept {
         PPSC_CHECK(bound > 0);
         unsigned __int128 m = static_cast<unsigned __int128>(next()) * bound;
+        // ppsc-lint: allow(R4) deliberate low-word extraction — Lemire's method inspects the low 64 bits
         auto low = static_cast<std::uint64_t>(m);
         if (low < bound) {
             const std::uint64_t threshold = (0 - bound) % bound;
             while (low < threshold) {
                 m = static_cast<unsigned __int128>(next()) * bound;
+                // ppsc-lint: allow(R4) deliberate low-word extraction, same as above
                 low = static_cast<std::uint64_t>(m);
             }
         }
+        // ppsc-lint: allow(R4) m >> 64 of a 128-bit product fits 64 bits exactly
         return static_cast<std::uint64_t>(m >> 64);
     }
 
@@ -50,9 +53,11 @@ public:
     unsigned __int128 below128(unsigned __int128 bound) noexcept {
         PPSC_CHECK(bound > 0);
         constexpr auto kWordMax = static_cast<unsigned __int128>(~std::uint64_t{0});
+        // ppsc-lint: allow(R4) guarded by the bound <= kWordMax test on this very line
         if (bound <= kWordMax) return below(static_cast<std::uint64_t>(bound));
         // Mask-and-reject over the smallest power-of-two range covering
         // bound: < 2 draws of 128 bits in expectation.
+        // ppsc-lint: allow(R4) (bound - 1) >> 64 of a 128-bit value fits 64 bits exactly
         const auto high = static_cast<std::uint64_t>((bound - 1) >> 64);  // > 0 here
         const int bits = 128 - std::countl_zero(high);
         const unsigned __int128 mask =

@@ -59,9 +59,9 @@ struct Search {
     bool exact = true;
 
     using Key = std::vector<std::int64_t>;  // [i, sorted antichain flattened]
-    std::map<Key, std::size_t> memo;
+    std::map<Key, std::size_t> memo{};
     // Best full witness reconstruction: store the chosen vector per state.
-    std::map<Key, NatVec> choice;
+    std::map<Key, NatVec> choice{};
 
     Key encode(std::int64_t index, const std::vector<NatVec>& antichain) const {
         Key key{index};

@@ -49,10 +49,11 @@ TEST(PaperBounds, Theorem59ChainHoldsForSmallN) {
         EXPECT_TRUE(chain.holds) << "n=" << n;
         EXPECT_FALSE(chain.lhs.is_zero());
         // The final bound dominates by an enormous margin.
-        if (!chain.rhs.is_infinite())
+        if (!chain.rhs.is_infinite()) {
             EXPECT_LT(static_cast<double>(chain.lhs.log2_value()),
                       static_cast<double>(chain.rhs.log2_value()))
                 << "n=" << n;
+        }
     }
 }
 

@@ -66,8 +66,9 @@ TEST_P(RandomProtocolTest, P1_GraphInvariantsAndSccPartition) {
             // Bottom components have no cross-component successors.
             for (const NodeId next : graph.successors(static_cast<NodeId>(node))) {
                 const auto next_component = scc.component_of[static_cast<std::size_t>(next)];
-                if (scc.is_bottom[static_cast<std::size_t>(component)])
+                if (scc.is_bottom[static_cast<std::size_t>(component)]) {
                     EXPECT_EQ(next_component, component);
+                }
                 // Tarjan completion order: edges never point to a strictly
                 // larger component id.
                 EXPECT_LE(next_component, component);

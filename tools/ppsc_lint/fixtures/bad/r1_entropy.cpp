@@ -1,0 +1,18 @@
+// Fixture: every entropy source R1 guards against, in a trajectory dir.
+// ppsc-lint: pretend(src/sim/entropy_violations.cpp)
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+void violations() {
+    std::random_device rd;                               // expect(R1)
+    std::mt19937 gen(rd());                              // expect(R1)
+    srand(42);                                           // expect(R1)
+    int r = rand();                                      // expect(R1)
+    auto t = time(nullptr);                              // expect(R1)
+    auto seed = std::chrono::steady_clock::now().time_since_epoch().count();  // expect(R1)
+    (void)gen;
+    (void)r;
+    (void)t;
+    (void)seed;
+}

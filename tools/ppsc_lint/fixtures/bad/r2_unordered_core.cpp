@@ -1,0 +1,19 @@
+// Fixture: iteration over unordered containers on a trajectory-affecting
+// path (severity "error" — hash order would leak into trajectories).
+// ppsc-lint: pretend(src/core/order_leak.cpp)
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int leak() {
+    std::unordered_map<std::string, int> table;
+    std::unordered_set<std::uint64_t> seen;
+    table["a"] = 1;
+    int sum = 0;
+    for (const auto& [key, value] : table) sum += value;  // expect(R2)
+    for (const auto& v : seen) sum += static_cast<int>(v);  // expect(R2)
+    auto it = table.begin();  // expect(R2)
+    (void)it;
+    return sum;
+}

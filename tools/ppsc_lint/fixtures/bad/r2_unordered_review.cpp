@@ -1,0 +1,13 @@
+// Fixture: the same iteration outside the trajectory directories is a
+// "review" finding — still blocking until suppressed with a proof or
+// rewritten as a sorted extraction.
+// ppsc-lint: pretend(src/verify/order_review.cpp)
+#include <unordered_set>
+#include <vector>
+
+int review() {
+    std::unordered_set<int> pool{1, 2, 3};
+    int sum = 0;
+    for (const int v : pool) sum += v;  // expect(R2)
+    return sum;
+}

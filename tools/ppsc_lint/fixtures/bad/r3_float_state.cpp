@@ -1,0 +1,10 @@
+// Fixture: floating-point members in a serialized-state struct.
+// ppsc-lint: pretend(src/sim/snapshot_bad.hpp)
+#include <cstdint>
+
+// ppsc-lint: serialized-state
+struct BadSnapshot {
+    std::uint64_t interactions = 0;
+    double mean_time = 0.0;  // expect(R3)
+    float ratio = 0.0f;      // expect(R3)
+};

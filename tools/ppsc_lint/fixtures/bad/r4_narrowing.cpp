@@ -1,0 +1,12 @@
+// Fixture: unchecked narrowing out of the __int128 weight lanes.
+// ppsc-lint: pretend(src/support/weights_bad.cpp)
+#include <cstdint>
+
+using Int128 = __int128;
+
+std::int64_t lose_bits(__int128 weight) {
+    const __int128 doubled = weight * 2;
+    const auto lo = static_cast<std::uint64_t>(doubled);  // expect(R4)
+    (void)lo;
+    return static_cast<std::int64_t>(weight);  // expect(R4)
+}

@@ -1,0 +1,17 @@
+// Fixture: suppressions without a substantive reason do NOT suppress and
+// are themselves findings (R0) — the reason is the audit trail.
+// ppsc-lint: pretend(src/support/suppress_bad.cpp)
+#include <cstdint>
+
+std::int64_t narrow(__int128 weight) {
+    // The next two lines: a reason-free allow is malformed (R0 on the
+    // comment line) and the R4 finding below it survives.
+    // expect-below(R0)
+    // ppsc-lint: allow(R4)
+    const auto a = static_cast<std::int64_t>(weight);  // expect(R4)
+    // A too-short reason is equally malformed.
+    // expect-below(R0)
+    // ppsc-lint: allow(R4) ok
+    const auto b = static_cast<std::int64_t>(weight);  // expect(R4)
+    return a + b;
+}

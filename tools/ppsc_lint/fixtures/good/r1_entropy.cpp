@@ -1,0 +1,23 @@
+// Fixture: entropy-adjacent code that must NOT be flagged.
+// ppsc-lint: pretend(src/sim/clean_timing.cpp)
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t elapsed_time_seconds();
+
+void clean() {
+    // Wall-clock *measurement* is fine — only clock-derived seeds break
+    // reproducibility.
+    const auto start = std::chrono::steady_clock::now();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    (void)elapsed;
+    // Identifiers merely containing the forbidden tokens are not matches.
+    const std::uint64_t elapsed_time = elapsed_time_seconds();
+    const std::uint64_t operand = elapsed_time;
+    (void)operand;
+    // Member calls named time() are not the libc entropy call.
+    struct Timer {
+        double time() const { return 0.0; }
+    } timer;
+    (void)timer.time();
+}

@@ -1,0 +1,6 @@
+// Fixture: src/support/rng.hpp is the one place entropy machinery may
+// live (it wraps it behind explicit seeding).
+// ppsc-lint: pretend(src/support/rng.hpp)
+#include <random>
+
+std::mt19937 make_engine(unsigned seed) { return std::mt19937(seed); }

@@ -1,0 +1,26 @@
+// Fixture: the sanctioned unordered-container patterns — lookup-only use,
+// sorted extraction before iteration, and ordered containers.
+// ppsc-lint: pretend(src/core/order_clean.cpp)
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+int clean() {
+    std::unordered_map<std::string, int> table;
+    table["a"] = 1;
+    // Lookup-only: no iteration, no order dependence.
+    const auto it = table.find("a");
+    int sum = it != table.end() ? it->second : 0;
+    // Sorted extraction: copy keys out, sort, then iterate the vector.
+    std::vector<std::string> keys;
+    keys.reserve(table.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) sum += static_cast<int>(keys[i].size());
+    std::sort(keys.begin(), keys.end());
+    for (const auto& key : keys) sum += static_cast<int>(key.size());
+    // Ordered containers iterate deterministically.
+    std::map<std::string, int> ordered(table.begin(), table.end());  // ppsc-lint: allow(R2) ordered-map constructor consumes the range order-insensitively (values are re-sorted by key)
+    for (const auto& [key, value] : ordered) sum += value;
+    return sum;
+}

@@ -1,0 +1,26 @@
+// Fixture: serialized-state structs done right — integral images for the
+// persisted layout; methods may mention double freely (the rule is about
+// the persisted members, not the API); unmarked structs are out of scope.
+// ppsc-lint: pretend(src/sim/snapshot_good.hpp)
+#include <bit>
+#include <cstdint>
+
+// ppsc-lint: serialized-state
+struct GoodSnapshot {
+    std::uint64_t interactions = 0;
+    std::uint64_t mean_bits = 0;  // IEEE-754 image of the mean, bit-exact
+
+    double mean() const { return std::bit_cast<double>(mean_bits); }
+    void set_mean(double m) { mean_bits = std::bit_cast<std::uint64_t>(m); }
+};
+
+// ppsc-lint: serialized-state
+struct SuppressedSnapshot {
+    // ppsc-lint: allow(R3) serialized as an IEEE-754 bit image in u64 — bit-exact round trip
+    double mean = 0.0;
+};
+
+// Not marked: scratch structs may hold doubles.
+struct EphemeralRow {
+    double throughput = 0.0;
+};

@@ -1,0 +1,20 @@
+// Fixture: the sanctioned ways out of the __int128 weight lanes.
+// ppsc-lint: pretend(src/support/weights_good.cpp)
+#include <cstdint>
+
+#include "support/check.hpp"
+
+std::int64_t narrow_checked(__int128 weight) {
+    // checked_narrow round-trips and sign-checks; out-of-range throws.
+    return ppsc::checked_narrow<std::int64_t>(weight);
+}
+
+__int128 widen(std::int64_t count) {
+    // Widening casts into __int128 are always safe.
+    return static_cast<__int128>(count) * count;
+}
+
+std::int64_t narrow_suppressed(__int128 weight) {
+    // ppsc-lint: allow(R4) weight < 2^40 by the population cap argued in the caller
+    return static_cast<std::int64_t>(weight);
+}

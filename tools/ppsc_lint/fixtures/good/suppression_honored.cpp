@@ -1,0 +1,16 @@
+// Fixture: well-formed suppressions (rule id + substantive reason) on the
+// same line or the line above are honored.
+// ppsc-lint: pretend(src/core/suppress_good.cpp)
+#include <cstdint>
+#include <unordered_set>
+
+std::int64_t suppressed(__int128 weight) {
+    // ppsc-lint: allow(R4) weight is bounded by the caller's population cap of 2^40
+    const auto a = static_cast<std::int64_t>(weight);
+    const auto b = static_cast<std::int64_t>(weight);  // ppsc-lint: allow(R4) same bound as above, same caller
+    std::unordered_set<int> pool{1, 2};
+    int sum = 0;
+    // ppsc-lint: allow(R2) summation is commutative — the fold is order-insensitive
+    for (const int v : pool) sum += v;
+    return a + b + sum;
+}
