@@ -19,7 +19,11 @@
 //   --epoch-smoke  deterministic statistical checks of the epoch-batched
 //                  stepping mode (sampler moments, multinomial GOF, epoch
 //                  vs per-step convergence, fired accounting) — the CI
-//                  entry point for engine idea 5, run on every matrix leg.
+//                  entry point for engine idea 5, run on every matrix leg;
+//   --analyze-smoke  the static analyzer (analyze/) over every registered
+//                  protocol family: certificates checker-verified, round-
+//                  tripped, and no findings on known-good protocols — the
+//                  CI entry point for ppsc-analyze, run on every matrix leg.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -31,9 +35,12 @@
 #include <span>
 #include <vector>
 
+#include "analyze/analyze.hpp"
+#include "analyze/checker.hpp"
 #include "bounds/pumping.hpp"
 #include "diophantine/realisable.hpp"
 #include "protocols/double_exp_threshold.hpp"
+#include "protocols/families.hpp"
 #include "protocols/threshold.hpp"
 #include "search/busy_beaver.hpp"
 #include "sim/checkpoint.hpp"
@@ -540,7 +547,7 @@ BENCHMARK(BM_RealisableBasisReference)->Arg(5)->Unit(benchmark::kMillisecond);
 // rejects most candidates after a few thousand simulated interactions).
 // Items = candidates processed; the screened_out counter reports how much
 // of the sample the fast path absorbed.
-void busy_beaver_sweep_bench(benchmark::State& state, bool screen) {
+void busy_beaver_sweep_bench(benchmark::State& state, bool screen, bool static_screen = false) {
     search::SearchOptions options;
     // The horizon is where the cost asymmetry lives: exact verification
     // explores C(i + n − 1, n − 1)-node graphs for every input i up to 24,
@@ -555,19 +562,26 @@ void busy_beaver_sweep_bench(benchmark::State& state, bool screen) {
     options.screening.runs = 1;
     options.screening.max_interactions = 1'000;
     options.screening.max_inconclusive_inputs = 2;
+    options.static_screen = static_screen;
     const auto n = static_cast<std::size_t>(state.range(0));
     std::uint64_t screened_out = 0;
+    std::uint64_t static_refuted = 0;
     std::uint64_t candidates = 0;
     for (auto _ : state) {
         options.seed = 0xbeefcafe + candidates;  // fresh sample per iteration
         const auto outcome = search::busy_beaver_search(n, options);
         screened_out += outcome.screened_out;
+        static_refuted += outcome.static_refuted;
         candidates += outcome.enumerated;
         benchmark::DoNotOptimize(outcome.best_eta);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(candidates));
     state.counters["screened_out"] =
         candidates > 0 ? static_cast<double>(screened_out) / static_cast<double>(candidates) : 0;
+    if (static_screen)
+        state.counters["static_refuted"] =
+            candidates > 0 ? static_cast<double>(static_refuted) / static_cast<double>(candidates)
+                           : 0;
 }
 void BM_BusyBeaverSweepScreened(benchmark::State& state) {
     busy_beaver_sweep_bench(state, true);
@@ -575,8 +589,37 @@ void BM_BusyBeaverSweepScreened(benchmark::State& state) {
 void BM_BusyBeaverSweepExact(benchmark::State& state) {
     busy_beaver_sweep_bench(state, false);
 }
+// The zero-simulation static pre-screen (analyze/) stacked ahead of the
+// simulation screen: candidates whose acceptance is refuted by certificate
+// never touch the simulator; the counter reports the absorbed fraction.
+void BM_BusyBeaverSweepStaticScreened(benchmark::State& state) {
+    busy_beaver_sweep_bench(state, true, true);
+}
 BENCHMARK(BM_BusyBeaverSweepScreened)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BusyBeaverSweepExact)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BusyBeaverSweepStaticScreened)->Arg(4)->Arg(5)->Unit(benchmark::kMillisecond);
+
+// --- Static analysis (ppsc-analyze) -----------------------------------------
+
+// The full analyzer on the n = 17 flagship (|Q| = 131075, sparse rule
+// table): pass 1 takes the O(|T|) singleton path (cone completion is gated
+// off far below this size), pass 2 is one CSR worklist, and the trap lint
+// reuses the worklist fixpoint — the whole run must stay linear in the
+// protocol, which is what this row documents.
+void BM_StaticInvariants(benchmark::State& state) {
+    const Protocol& protocol = e11_flagship_protocol(static_cast<int>(state.range(0)));
+    std::size_t certificates = 0;
+    for (auto _ : state) {
+        const analyze::Analysis analysis = analyze::analyze_protocol(protocol);
+        if (analysis.cone_inference_ran)
+            state.SkipWithError("cone completion ran at flagship scale");
+        certificates = analysis.certificates.size();
+        benchmark::DoNotOptimize(analysis);
+    }
+    state.counters["certificates"] = static_cast<double>(certificates);
+    state.SetLabel("|Q|=" + std::to_string(protocol.num_states()));
+}
+BENCHMARK(BM_StaticInvariants)->Arg(17)->Unit(benchmark::kMillisecond);
 
 // Tiny end-to-end run of the E11 workload: the family must decide its
 // predicate in randomized simulation, and both fired-step selection paths
@@ -924,6 +967,45 @@ int run_analysis_smoke() {
     return ok ? 0 : 1;
 }
 
+// Static-analyzer smoke: run analyze_protocol over *every* registered
+// protocol family (built from its documented example parameters), require
+// the independent checker to accept every emitted certificate and the
+// serialisation to round-trip, and require the analyzer to find nothing
+// wrong with these known-good protocols.  The CI entry point for the
+// analyze/ subsystem — run on every matrix leg, sanitizers included.
+int run_analyze_smoke() {
+    bool ok = true;
+    const auto check = [&ok](bool condition, const std::string& what) {
+        std::printf("  %-60s %s\n", what.c_str(), condition ? "ok" : "FAIL");
+        ok = ok && condition;
+    };
+
+    std::printf("analyze smoke: every registered family, certificates checker-verified\n");
+    for (const protocols::ProtocolFamily& family : protocols::protocol_families()) {
+        std::vector<std::string> args;
+        std::istringstream example(family.example_args);
+        for (std::string token; example >> token;) args.push_back(token);
+        const Protocol protocol = protocols::build_family(family.name, args);
+        const analyze::Analysis analysis = analyze::analyze_protocol(protocol);
+
+        const std::string name = family.name;
+        bool clean = !analysis.consensus_refuted[0] && !analysis.consensus_refuted[1];
+        for (const bool u : analysis.unreachable) clean = clean && !u;
+        for (const bool d : analysis.dead) clean = clean && !d;
+        check(clean, name + ": no unreachable/dead/refuted findings");
+
+        const analyze::CheckReport report =
+            analyze::check_certificates(protocol, analysis.certificates);
+        check(report.ok, name + ": checker accepts all " +
+                             std::to_string(analysis.certificates.size()) + " certificates");
+        const std::vector<analyze::Certificate> reparsed = analyze::parse_certificates(
+            analyze::format_certificates(analysis.certificates));
+        check(reparsed == analysis.certificates, name + ": certificates round-trip");
+    }
+    std::printf("analyze smoke: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -931,6 +1013,7 @@ int main(int argc, char** argv) {
         if (std::strcmp(argv[i], "--e11-smoke") == 0) return run_e11_smoke();
         if (std::strcmp(argv[i], "--epoch-smoke") == 0) return run_epoch_smoke();
         if (std::strcmp(argv[i], "--analysis-smoke") == 0) return run_analysis_smoke();
+        if (std::strcmp(argv[i], "--analyze-smoke") == 0) return run_analyze_smoke();
     }
     benchmark::Initialize(&argc, argv);
     bool skip_sweeps = false;

@@ -1,6 +1,7 @@
 // protocol_tool — drive any protocol from a text file.
 //
 //   $ ./protocol_tool info      <file.pp>
+//   $ ./protocol_tool analyze   <file.pp> [--emit-certificates [out]] [--check <certs>]
 //   $ ./protocol_tool verify    <file.pp> <eta> [max_input]
 //   $ ./protocol_tool simulate  <file.pp> <population> [seed]
 //   $ ./protocol_tool longrun   <file.pp> <population> <interactions> [seed]
@@ -37,6 +38,7 @@
 //         --checkpoint-every 1000000   (one command line)
 //   ^C   (or SIGKILL — the rotation keeps the last snapshots)
 //   $ ./protocol_tool longrun d3.pp 512 100000000 7 --checkpoint-dir ck --resume
+#include <algorithm>
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -52,6 +54,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analyze/analyze.hpp"
+#include "analyze/checker.hpp"
 #include "core/protocol_parser.hpp"
 #include "protocols/families.hpp"
 #include "sim/checkpoint.hpp"
@@ -83,6 +87,12 @@ void print_usage(const char* argv0, std::FILE* out) {
                  "\n"
                  "commands:\n"
                  "  info     <file.pp>                     print states/inputs/transitions\n"
+                 "  analyze  <file.pp> [--emit-certificates [out]] [--check <certs>]\n"
+                 "                                         static analysis: invariant +\n"
+                 "                                         closure certificates, dead code,\n"
+                 "                                         consensus refutation, lints\n"
+                 "                                         (file:line diagnostics; --check\n"
+                 "                                         re-verifies a certificate file)\n"
                  "  verify   <file.pp> <eta> [max_input]   exhaustively check x >= eta\n"
                  "  simulate <file.pp> <population> [seed] one randomized run from IC\n"
                  "  longrun  <file.pp> <population> <interactions> [seed]\n"
@@ -307,6 +317,131 @@ int run_longrun(const Protocol& protocol, AgentCount population, std::uint64_t b
     return 0;
 }
 
+/// Maps analyzer subjects back to source lines of the .pp text: a state's
+/// `state <name> …` line, a transition's `trans …` line (matched by the
+/// canonical unordered pre/post pairs, first unclaimed match wins so
+/// distinct rules on one pre-pair land on their own lines).  0 = unknown.
+struct SourceMap {
+    std::vector<std::size_t> state_line;
+    std::vector<std::size_t> transition_line;
+};
+
+SourceMap map_source_lines(const Protocol& protocol, const std::string& text) {
+    SourceMap map;
+    map.state_line.assign(protocol.num_states(), 0);
+    map.transition_line.assign(protocol.num_transitions(), 0);
+    std::istringstream input(text);
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(input, line)) {
+        ++line_number;
+        std::istringstream is(line);
+        std::vector<std::string> tokens;
+        for (std::string token; is >> token && token.front() != '#';) tokens.push_back(token);
+        if (tokens.empty()) continue;
+        if (tokens[0] == "state" && tokens.size() >= 2) {
+            if (const auto q = protocol.find_state(tokens[1]))
+                map.state_line[static_cast<std::size_t>(*q)] = line_number;
+        } else if ((tokens[0] == "trans" || tokens[0] == "trans+") && tokens.size() == 6) {
+            const auto a = protocol.find_state(tokens[1]), b = protocol.find_state(tokens[2]);
+            const auto c = protocol.find_state(tokens[4]), d = protocol.find_state(tokens[5]);
+            if (!a || !b || !c || !d) continue;
+            const auto pre = std::minmax(*a, *b);
+            const auto post = std::minmax(*c, *d);
+            for (std::size_t t = 0; t < protocol.num_transitions(); ++t) {
+                const Transition& tr = protocol.transitions()[t];
+                if (map.transition_line[t] == 0 && tr.pre1 == pre.first &&
+                    tr.pre2 == pre.second && tr.post1 == post.first && tr.post2 == post.second) {
+                    map.transition_line[t] = line_number;
+                    break;
+                }
+            }
+        }
+    }
+    return map;
+}
+
+const char* severity_name(analyze::Severity severity) {
+    switch (severity) {
+        case analyze::Severity::error: return "error";
+        case analyze::Severity::warning: return "warning";
+        case analyze::Severity::note: return "note";
+    }
+    return "note";
+}
+
+/// `protocol_tool analyze`: run the static analyzer, print machine-readable
+/// `file:line: severity [code]: message` diagnostics, self-check the
+/// emitted certificates through the independent checker, and optionally
+/// write them out (--emit-certificates) or re-verify an external
+/// certificate file (--check).  Exit codes: 0 clean, 2 a certificate
+/// failed its check.
+int run_analyze(const char* path, bool emit, const char* emit_path, const char* check_path) {
+    std::ifstream file(path);
+    if (!file) throw std::invalid_argument(std::string("cannot open ") + path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string text = buffer.str();
+
+    std::vector<ParseWarning> warnings;
+    const Protocol protocol = parse_protocol(text, &warnings);
+    const SourceMap lines = map_source_lines(protocol, text);
+    for (const ParseWarning& warning : warnings)
+        std::printf("%s:%zu: warning [duplicate-rule]: %s\n", path, warning.line,
+                    warning.message.c_str());
+
+    const analyze::Analysis analysis = analyze::analyze_protocol(protocol);
+    for (const analyze::Diagnostic& d : analysis.diagnostics) {
+        std::size_t line = 1;
+        if (d.state >= 0 && lines.state_line[static_cast<std::size_t>(d.state)] != 0)
+            line = lines.state_line[static_cast<std::size_t>(d.state)];
+        if (d.transition >= 0 &&
+            lines.transition_line[static_cast<std::size_t>(d.transition)] != 0)
+            line = lines.transition_line[static_cast<std::size_t>(d.transition)];
+        std::printf("%s:%zu: %s [%s]: %s\n", path, line, severity_name(d.severity),
+                    d.code.c_str(), d.message.c_str());
+    }
+
+    std::size_t unreachable = 0, dead = 0;
+    for (const bool u : analysis.unreachable) unreachable += u;
+    for (const bool d : analysis.dead) dead += d;
+    const analyze::CheckReport self_check =
+        analyze::check_certificates(protocol, analysis.certificates);
+    std::printf("analyze: %zu unreachable state%s, %zu dead transition%s, consensus 0 %s, "
+                "consensus 1 %s\n",
+                unreachable, unreachable == 1 ? "" : "s", dead, dead == 1 ? "" : "s",
+                analysis.consensus_refuted[0] ? "refuted" : "possible",
+                analysis.consensus_refuted[1] ? "refuted" : "possible");
+    std::printf("certificates: %zu emitted, checker %s\n", analysis.certificates.size(),
+                self_check.ok ? "accepted all" : self_check.error.c_str());
+
+    if (emit) {
+        const std::string formatted = analyze::format_certificates(analysis.certificates);
+        if (emit_path != nullptr) {
+            std::ofstream out(emit_path);
+            if (!out) throw std::invalid_argument(std::string("cannot write ") + emit_path);
+            out << formatted;
+        } else {
+            std::fputs(formatted.c_str(), stdout);
+        }
+    }
+    if (check_path != nullptr) {
+        std::ifstream certs_file(check_path);
+        if (!certs_file)
+            throw std::invalid_argument(std::string("cannot open ") + check_path);
+        std::ostringstream certs_text;
+        certs_text << certs_file.rdbuf();
+        const std::vector<analyze::Certificate> external =
+            analyze::parse_certificates(certs_text.str());
+        const analyze::CheckReport report = analyze::check_certificates(protocol, external);
+        std::printf("check %s: %zu certificate%s %s\n", check_path, external.size(),
+                    external.size() == 1 ? "" : "s",
+                    report.ok ? "all valid" : ("REJECTED — " + report.error).c_str());
+        if (!report.ok) return 2;
+    }
+    return self_check.ok ? 0 : 2;
+}
+
 int run_sweep(const Protocol& protocol, AgentCount eta, const std::vector<AgentCount>& populations,
               std::uint64_t runs, std::uint64_t seed, const CheckpointFlags& flags) {
     install_stop_handlers();
@@ -363,6 +498,30 @@ int main(int argc, char** argv) {
             std::fputs(format_protocol(protocols::build_family(argv[2], params)).c_str(),
                        stdout);
             return 0;
+        }
+        if (command == "analyze") {
+            // analyze has its own flag grammar (no checkpoint flags).
+            bool emit = false;
+            const char* emit_path = nullptr;
+            const char* check_path = nullptr;
+            std::vector<const char*> positional;
+            for (int i = 2; i < argc; ++i) {
+                const std::string_view arg = argv[i];
+                if (arg == "--emit-certificates") {
+                    emit = true;
+                    if (i + 1 < argc && argv[i + 1][0] != '-') emit_path = argv[++i];
+                } else if (arg == "--check") {
+                    if (++i >= argc) throw std::invalid_argument("--check needs a file");
+                    check_path = argv[i];
+                } else if (arg.starts_with("--")) {
+                    throw std::invalid_argument("unknown flag '" + std::string(arg) + "'");
+                } else {
+                    positional.push_back(argv[i]);
+                }
+            }
+            if (positional.size() != 1)
+                throw std::invalid_argument("analyze needs exactly one <file.pp>");
+            return run_analyze(positional[0], emit, emit_path, check_path);
         }
         std::vector<const char*> args(argv + 2, argv + argc);
         const CheckpointFlags flags = extract_checkpoint_flags(args);

@@ -1,0 +1,114 @@
+// Protocol-level static analysis (ppsc-analyze).
+//
+// Everything the rest of the library establishes about a protocol is
+// established by *running* it — randomized simulation (sim/) or exact
+// bounded-population reachability (verify/).  This module is the static
+// story: a multi-pass analyzer that proves facts about a protocol without
+// exploring a single configuration, and backs every claim with a
+// machine-checkable certificate (analyze/certificate.hpp) that the
+// independent checker (analyze/checker.hpp) re-verifies from scratch.
+//
+// Passes, in order:
+//
+//   1. Linear invariant inference.  A vector v ∈ N^Q with v·Δt ≤ 0 for all
+//      transitions t is non-increasing along every step; if it additionally
+//      vanishes on every input state, v·IC(m) = v·L for every input m, so
+//      every state q with v(q) > v·L is unreachable from every initial
+//      configuration.  The leader threshold is a *counting* argument the
+//      structural closure of pass 2 cannot make (e.g. a state producible
+//      only by two copies of a unique leader).  The cone {v ≥ 0 : Δᵀ·v ≤ 0} is
+//      computed exactly by the Contejean–Devie completion
+//      (diophantine/pottier.hpp, generating_basis_inequalities) on small
+//      protocols; above `cone_state_cap` states the pass falls back to the
+//      O(|T|) singleton scan (v = e_q is in the cone iff no transition
+//      produces q more often than it consumes it), which is what scales to
+//      the |Q| = 131075 flagship family.
+//   2. Interaction-closure reachable-support overapproximation.  The least
+//      R ⊆ Q containing all input states and the leader support and closed
+//      under "both pre-states in R ⇒ both post-states in R", computed by a
+//      worklist over the protocol's non-silent-pair CSR
+//      (pair_neighbors/self_pair).  Every occupied state of every reachable
+//      configuration lies in R; equivalently Q ∖ R is an initially-empty
+//      siphon.  Unreachable states from passes 1 + 2 are combined, and a
+//      transition with an unreachable pre-state is dead: it can never fire.
+//   3. Consensus refutation.  If every output-b state is covered by an
+//      unreachability certificate, no reachable configuration has consensus
+//      b — "stabilizes to b" is statically refuted for every input.  The
+//      output traps of the simulation layer (sim/traps.hpp) feed the
+//      adjacent lint: an empty trap W_b means the engine's trap-based
+//      stable-consensus detector can never certify output b.
+//   4. Well-formedness lints: unreachable states and dead transitions as
+//      notes, one-sided output (the protocol can never produce the other
+//      consensus), empty output traps, nondeterministic pre-pairs
+//      (duplicate/conflicting rules), and inert leaders (a leader state
+//      whose every non-silent interaction partner is unreachable).
+//
+// Soundness contract, asserted exhaustively in tests/analyze_test.cpp: no
+// state flagged unreachable is exactly-reachable, no transition flagged
+// dead is ever enabled, and every emitted certificate passes
+// check_certificates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analyze/certificate.hpp"
+#include "core/protocol.hpp"
+#include "diophantine/pottier.hpp"
+
+namespace ppsc::analyze {
+
+enum class Severity { error, warning, note };
+
+/// One machine-readable finding.  `state` / `transition` identify the
+/// subject when the finding is about one (−1 otherwise); callers with
+/// access to the source text (protocol_tool) map them back to file:line.
+struct Diagnostic {
+    Severity severity = Severity::note;
+    std::string code;     ///< stable identifier, e.g. "unreachable-state"
+    std::string message;  ///< human-readable explanation
+    StateId state = -1;
+    TransitionId transition = -1;
+};
+
+struct AnalysisOptions {
+    /// Budgets for the Contejean–Devie completion of pass 1; blowing them
+    /// downgrades the pass to the singleton scan (with a note), it never
+    /// fails the analysis.  The defaults are far tighter than the library
+    /// HilbertOptions defaults: the analyzer is a screening/linting pass
+    /// and must stay interactive, not exact-at-any-cost.
+    HilbertOptions hilbert{.max_norm1 = 1 << 10, .max_frontier = 50'000};
+    /// Full cone inference only below this many states; above it pass 1
+    /// runs the O(|T|) singleton scan.  The default keeps exhaustive
+    /// sweeps and busy-beaver screening on the exact cone while the
+    /// |Q| ≥ 10⁵ families stay linear-time.
+    std::size_t cone_state_cap = 24;
+    /// Cap on emitted invariant certificates (deterministic prefix of the
+    /// generating basis); a note reports truncation.
+    std::size_t max_invariants = 64;
+};
+
+struct Analysis {
+    /// Every claim below, as independently checkable evidence.  Base
+    /// certificates (invariant/closure) come first; dead/consensus
+    /// certificates reference them by index into this vector.
+    std::vector<Certificate> certificates;
+    /// Per state: proven unreachable from every initial configuration.
+    std::vector<bool> unreachable;
+    /// Per transition: proven never to fire (an unreachable pre-state).
+    std::vector<bool> dead;
+    /// Per output b: proven that no reachable configuration has consensus b.
+    std::array<bool, 2> consensus_refuted{false, false};
+    std::vector<Diagnostic> diagnostics;
+    /// True when pass 1 ran the exact cone completion (false: singleton
+    /// scan only, by state cap or blown Hilbert budget).
+    bool cone_inference_ran = false;
+};
+
+/// Runs all passes.  Never throws on analysis content; budget exhaustion
+/// degrades to weaker (still sound) results with a diagnostic note.
+Analysis analyze_protocol(const Protocol& protocol, const AnalysisOptions& options = {});
+
+}  // namespace ppsc::analyze

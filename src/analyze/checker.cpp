@@ -1,0 +1,159 @@
+#include "analyze/checker.hpp"
+
+#include <sstream>
+
+namespace ppsc::analyze {
+
+namespace {
+
+/// One certificate's verdict: empty string = sound, otherwise the reason.
+std::string check_invariant(const Protocol& protocol, const Certificate& c) {
+    if (c.coefficients.size() != protocol.num_states())
+        return "invariant has " + std::to_string(c.coefficients.size()) +
+               " coefficients for a protocol with " + std::to_string(protocol.num_states()) +
+               " states";
+    for (std::size_t q = 0; q < c.coefficients.size(); ++q) {
+        if (c.coefficients[q] < 0)
+            return "invariant coefficient of state " + std::to_string(q) + " is negative";
+    }
+    // Non-increasing along every step: v·Δt ≤ 0, recomputed from the raw
+    // transition endpoints (never via the inference's system assembly).
+    // __int128 keeps the four-term sum exact for any int64 coefficients.
+    for (std::size_t t = 0; t < protocol.num_transitions(); ++t) {
+        const Transition& tr = protocol.transitions()[t];
+        const __int128 delta =
+            static_cast<__int128>(c.coefficients[static_cast<std::size_t>(tr.post1)]) +
+            static_cast<__int128>(c.coefficients[static_cast<std::size_t>(tr.post2)]) -
+            static_cast<__int128>(c.coefficients[static_cast<std::size_t>(tr.pre1)]) -
+            static_cast<__int128>(c.coefficients[static_cast<std::size_t>(tr.pre2)]);
+        if (delta > 0)
+            return "invariant increases along transition " + std::to_string(t);
+    }
+    // Initially bounded: v vanishes on every input state, so v·IC(m) = v·L
+    // for every input m — the threshold claimed_unreachable compares
+    // against.  (Nonzero leader coefficients are fine; they raise the
+    // threshold, they don't break the bound.)
+    for (std::size_t x = 0; x < protocol.input_variables().size(); ++x) {
+        const StateId q = protocol.input_state(x);
+        if (c.coefficients[static_cast<std::size_t>(q)] != 0)
+            return "invariant is nonzero on input state " + std::to_string(q);
+    }
+    return {};
+}
+
+std::string check_closure(const Protocol& protocol, const Certificate& c) {
+    if (c.inside.size() != protocol.num_states())
+        return "closure has " + std::to_string(c.inside.size()) +
+               " membership bits for a protocol with " + std::to_string(protocol.num_states()) +
+               " states";
+    // R must contain every possibly-initial state …
+    for (std::size_t x = 0; x < protocol.input_variables().size(); ++x) {
+        const StateId q = protocol.input_state(x);
+        if (!c.inside[static_cast<std::size_t>(q)])
+            return "closure excludes input state " + std::to_string(q);
+    }
+    for (std::size_t q = 0; q < protocol.num_states(); ++q) {
+        if (protocol.leaders()[static_cast<StateId>(q)] > 0 && !c.inside[q])
+            return "closure excludes leader state " + std::to_string(q);
+    }
+    // … and be closed under interaction.
+    for (std::size_t t = 0; t < protocol.num_transitions(); ++t) {
+        const Transition& tr = protocol.transitions()[t];
+        if (c.inside[static_cast<std::size_t>(tr.pre1)] &&
+            c.inside[static_cast<std::size_t>(tr.pre2)] &&
+            (!c.inside[static_cast<std::size_t>(tr.post1)] ||
+             !c.inside[static_cast<std::size_t>(tr.post2)]))
+            return "closure is not closed under transition " + std::to_string(t);
+    }
+    return {};
+}
+
+/// Resolves one reference of a derived certificate: it must land on a base
+/// (invariant/closure) certificate.  Returns nullptr plus a reason if not.
+const Certificate* resolve_base(std::span<const Certificate> certificates, std::size_t ref,
+                                std::string& error) {
+    if (ref >= certificates.size()) {
+        error = "reference " + std::to_string(ref) + " is out of range";
+        return nullptr;
+    }
+    const Certificate& base = certificates[ref];
+    if (base.kind != CertificateKind::invariant && base.kind != CertificateKind::closure) {
+        error = "reference " + std::to_string(ref) + " is not a base certificate";
+        return nullptr;
+    }
+    return &base;
+}
+
+std::string check_dead(const Protocol& protocol, std::span<const Certificate> certificates,
+                       const Certificate& c) {
+    if (c.transition < 0 ||
+        static_cast<std::size_t>(c.transition) >= protocol.num_transitions())
+        return "dead certificate names transition " + std::to_string(c.transition) +
+               " of a protocol with " + std::to_string(protocol.num_transitions()) +
+               " transitions";
+    const Transition& tr = protocol.transitions()[static_cast<std::size_t>(c.transition)];
+    if (c.state != tr.pre1 && c.state != tr.pre2)
+        return "state " + std::to_string(c.state) + " is not a pre-state of transition " +
+               std::to_string(c.transition);
+    for (const std::size_t ref : c.refs) {
+        std::string error;
+        const Certificate* base = resolve_base(certificates, ref, error);
+        if (base == nullptr) return error;
+        const std::vector<bool> unreachable =
+            claimed_unreachable(*base, protocol);
+        if (unreachable[static_cast<std::size_t>(c.state)]) return {};
+    }
+    return "no referenced certificate proves state " + std::to_string(c.state) +
+           " unreachable";
+}
+
+std::string check_consensus(const Protocol& protocol, std::span<const Certificate> certificates,
+                            const Certificate& c) {
+    if (c.output != 0 && c.output != 1) return "consensus output must be 0 or 1";
+    // Union of what the referenced base certificates prove unreachable;
+    // every output-b state must be covered.
+    std::vector<bool> covered(protocol.num_states(), false);
+    for (const std::size_t ref : c.refs) {
+        std::string error;
+        const Certificate* base = resolve_base(certificates, ref, error);
+        if (base == nullptr) return error;
+        const std::vector<bool> unreachable =
+            claimed_unreachable(*base, protocol);
+        for (std::size_t q = 0; q < covered.size(); ++q)
+            if (unreachable[q]) covered[q] = true;
+    }
+    for (std::size_t q = 0; q < protocol.num_states(); ++q) {
+        if (protocol.output(static_cast<StateId>(q)) == c.output && !covered[q])
+            return "output-" + std::to_string(c.output) + " state " + std::to_string(q) +
+                   " is not proven unreachable";
+    }
+    return {};
+}
+
+}  // namespace
+
+CheckReport check_certificates(const Protocol& protocol,
+                               std::span<const Certificate> certificates) {
+    CheckReport report;
+    for (std::size_t i = 0; i < certificates.size(); ++i) {
+        const Certificate& c = certificates[i];
+        std::string error;
+        switch (c.kind) {
+            case CertificateKind::invariant: error = check_invariant(protocol, c); break;
+            case CertificateKind::closure: error = check_closure(protocol, c); break;
+            case CertificateKind::dead: error = check_dead(protocol, certificates, c); break;
+            case CertificateKind::consensus:
+                error = check_consensus(protocol, certificates, c);
+                break;
+        }
+        if (!error.empty()) {
+            report.ok = false;
+            report.failed_index = i;
+            report.error = "certificate " + std::to_string(i) + ": " + error;
+            return report;
+        }
+    }
+    return report;
+}
+
+}  // namespace ppsc::analyze

@@ -1,0 +1,39 @@
+// Independent re-verification of analysis certificates.
+//
+// The checker shares *no* code with the inference in analyze/analyze.cpp:
+// it validates each certificate by direct arithmetic over the protocol —
+// dotting invariants against transition displacements recomputed from the
+// raw transition endpoints, walking every transition against a claimed
+// closure, resolving cross-references and re-deriving what each referenced
+// certificate actually proves.  A certificate list is accepted only if
+// every certificate in it is individually sound and every reference lands
+// on a base certificate that proves exactly the claim it is cited for.
+// This is the trusted half of the analyzer's soundness story: the inference
+// may use arbitrarily clever machinery, but nothing it emits is believed
+// until this file has re-checked it from scratch.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "analyze/certificate.hpp"
+#include "core/protocol.hpp"
+
+namespace ppsc::analyze {
+
+struct CheckReport {
+    bool ok = true;
+    /// Index of the first failing certificate (meaningless when ok).
+    std::size_t failed_index = 0;
+    /// Human-readable reason for the first failure (empty when ok).
+    std::string error;
+};
+
+/// Re-verifies every certificate in `certificates` against `protocol` from
+/// scratch.  References (`refs`) are resolved within the same list; a
+/// reference to an out-of-range index, to a non-base certificate, or to a
+/// base certificate that does not prove the cited claim fails the check.
+CheckReport check_certificates(const Protocol& protocol,
+                               std::span<const Certificate> certificates);
+
+}  // namespace ppsc::analyze

@@ -1,8 +1,12 @@
 #include "core/protocol_parser.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 namespace ppsc {
@@ -27,7 +31,7 @@ std::vector<std::string> tokenize(const std::string& line) {
 
 }  // namespace
 
-Protocol parse_protocol(std::string_view text) {
+Protocol parse_protocol(std::string_view text, std::vector<ParseWarning>* warnings) {
     ProtocolBuilder b;
     std::vector<std::string> names;  // ProtocolBuilder has no name lookup pre-build
     auto lookup = [&](const std::string& name, std::size_t line_no) -> StateId {
@@ -41,6 +45,10 @@ Protocol parse_protocol(std::string_view text) {
     std::string line;
     std::size_t line_number = 0;
     bool any_input = false;
+    // Canonical pre-pair -> [(canonical post-pair, defining line)...], for
+    // the duplicate/conflict detection on `trans`/`trans+` lines.
+    std::unordered_map<std::uint64_t, std::vector<std::pair<std::uint64_t, std::size_t>>>
+        seen_rules;
     while (std::getline(input, line)) {
         ++line_number;
         const std::vector<std::string> tokens = tokenize(line);
@@ -84,11 +92,56 @@ Protocol parse_protocol(std::string_view text) {
             } catch (const std::invalid_argument& e) {
                 fail(line_number, e.what());
             }
-        } else if (keyword == "trans") {
+        } else if (keyword == "trans" || keyword == "trans+") {
             if (tokens.size() != 6 || tokens[3] != "->")
-                fail(line_number, "expected: trans <p> <q> -> <p'> <q'>");
-            b.add_transition(lookup(tokens[1], line_number), lookup(tokens[2], line_number),
-                             lookup(tokens[4], line_number), lookup(tokens[5], line_number));
+                fail(line_number, "expected: " + keyword + " <p> <q> -> <p'> <q'>");
+            StateId p = lookup(tokens[1], line_number);
+            StateId q = lookup(tokens[2], line_number);
+            StateId p2 = lookup(tokens[4], line_number);
+            StateId q2 = lookup(tokens[5], line_number);
+            // `trans` defines a pre-pair; `trans+` explicitly adds a further
+            // (nondeterministic) rule to an already-defined pre-pair.  A
+            // plain `trans` re-targeting a defined pair is overwhelmingly a
+            // typo, not intent — a typed error.  Canonicalise both sides
+            // exactly as ProtocolBuilder does before comparing.
+            if (p > q) std::swap(p, q);
+            if (p2 > q2) std::swap(p2, q2);
+            const std::uint64_t pre_key = (static_cast<std::uint64_t>(
+                                               static_cast<std::uint32_t>(p))
+                                           << 32) |
+                                          static_cast<std::uint32_t>(q);
+            const std::uint64_t post_key = (static_cast<std::uint64_t>(
+                                                static_cast<std::uint32_t>(p2))
+                                            << 32) |
+                                           static_cast<std::uint32_t>(q2);
+            const std::string pair_text = "{" + names[static_cast<std::size_t>(p)] + ", " +
+                                          names[static_cast<std::size_t>(q)] + "}";
+            auto& defined = seen_rules[pre_key];
+            if (keyword == "trans+" && defined.empty())
+                fail(line_number, "trans+ extends pair " + pair_text +
+                                      ", which has no prior rule (use trans)");
+            const std::size_t first_line = defined.empty() ? line_number : defined[0].second;
+            bool identical_dup = false;
+            for (const auto& [earlier_post, earlier_line] : defined) {
+                if (earlier_post == post_key) {
+                    if (warnings != nullptr)
+                        warnings->push_back(
+                            {line_number, "duplicate rule for pair " + pair_text +
+                                              " (identical to line " +
+                                              std::to_string(earlier_line) + ")"});
+                    identical_dup = true;
+                    break;
+                }
+            }
+            if (!identical_dup && keyword == "trans" && !defined.empty())
+                throw DuplicateRuleError(
+                    line_number, first_line,
+                    "protocol parse error, line " + std::to_string(line_number) +
+                        ": conflicting redefinition of pair " + pair_text +
+                        " (first defined at line " + std::to_string(first_line) +
+                        "; use trans+ to add a nondeterministic rule)");
+            if (!identical_dup) defined.emplace_back(post_key, line_number);
+            b.add_transition(p, q, p2, q2);
         } else {
             fail(line_number, "unknown keyword '" + keyword + "'");
         }
@@ -116,10 +169,18 @@ std::string format_protocol(const Protocol& protocol) {
             os << "leaders " << protocol.state_name(static_cast<StateId>(q)) << ' ' << count
                << '\n';
     }
+    // First rule of a pre-pair is `trans`; further rules (nondeterministic
+    // protocols) are `trans+`, which is what keeps the serialisation
+    // parseable under the parser's conflicting-redefinition check.
+    std::unordered_set<std::uint64_t> emitted_pairs;
     for (const Transition& t : protocol.transitions()) {
-        os << "trans " << protocol.state_name(t.pre1) << ' ' << protocol.state_name(t.pre2)
-           << " -> " << protocol.state_name(t.post1) << ' ' << protocol.state_name(t.post2)
-           << '\n';
+        const std::uint64_t pre_key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.pre1)) << 32) |
+            static_cast<std::uint32_t>(t.pre2);
+        const bool first = emitted_pairs.insert(pre_key).second;
+        os << (first ? "trans " : "trans+ ") << protocol.state_name(t.pre1) << ' '
+           << protocol.state_name(t.pre2) << " -> " << protocol.state_name(t.post1) << ' '
+           << protocol.state_name(t.post2) << '\n';
     }
     return os.str();
 }

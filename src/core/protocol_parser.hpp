@@ -13,18 +13,56 @@
 //
 // Lines: `state <name> <0|1>`, `input <var> -> <state>`,
 // `leaders <state> <count>`, `trans <p> <q> -> <p'> <q'>`; `#` starts a
-// comment; blank lines ignored.
+// comment; blank lines ignored.  Each unordered pre-pair may carry one
+// `trans` rule; a further rule for the same pair (a nondeterministic
+// protocol) must be written `trans+ <p> <q> -> <p'> <q'>` — a plain
+// `trans` re-targeting an already-defined pair is a typed parse error
+// (DuplicateRuleError below), and a byte-identical duplicate is a warning.
 #pragma once
 
+#include <cstddef>
+#include <stdexcept>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/protocol.hpp"
 
 namespace ppsc {
 
+/// Conflicting redefinition of a pre-pair: two `trans` lines with the same
+/// unordered pre-pair but different post-pairs.  The text format describes
+/// deterministic rule tables (nondeterministic protocols are built
+/// programmatically via ProtocolBuilder, which accepts multiple rules per
+/// pair), so a redefinition is overwhelmingly a typo — a typed error rather
+/// than a silent last-writer-wins or an accidental nondeterministic merge.
+class DuplicateRuleError : public std::invalid_argument {
+public:
+    DuplicateRuleError(std::size_t line, std::size_t previous_line, const std::string& what)
+        : std::invalid_argument(what), line_(line), previous_line_(previous_line) {}
+
+    /// Line of the conflicting redefinition.
+    std::size_t line() const noexcept { return line_; }
+    /// Line of the original definition it conflicts with.
+    std::size_t previous_line() const noexcept { return previous_line_; }
+
+private:
+    std::size_t line_;
+    std::size_t previous_line_;
+};
+
+/// Non-fatal parser finding (e.g. a byte-identical duplicate rule).
+struct ParseWarning {
+    std::size_t line = 0;
+    std::string message;
+};
+
 /// Parses the format above.  Throws std::invalid_argument with a
-/// line-numbered message on any syntax or semantic error.
-Protocol parse_protocol(std::string_view text);
+/// line-numbered message on any syntax or semantic error, and the typed
+/// DuplicateRuleError subtype when the same pre-pair is redefined with a
+/// different post-pair.  A byte-identical duplicate rule is legal but
+/// reported through `warnings` (ignored when null).
+Protocol parse_protocol(std::string_view text, std::vector<ParseWarning>* warnings = nullptr);
 
 /// Serialises a protocol back to the text format (round-trips through
 /// parse_protocol).

@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "analyze/analyze.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -133,6 +134,25 @@ SearchOutcome busy_beaver_search(std::size_t n, const SearchOptions& options) {
         if (!is_canonical(encoding)) return;
         ++outcome.canonical;
         const Protocol protocol = build_protocol(encoding);
+        // Phase 0 (optional): the StaticScreen stage — zero-simulation
+        // refutation by certificate.  If every output-1 state is proven
+        // unreachable, every reachable configuration has consensus 0, so
+        // the exact infer_threshold below would return nullopt; dropping
+        // the candidate here changes cost, never verdicts.
+        if (options.static_screen) {
+            // Linear-time analysis only (no cone completion): the candidates
+            // are leaderless, where every invariant claim is subsumed by the
+            // closure certificate anyway — the cone would add per-candidate
+            // Hilbert cost and zero extra refutations.
+            analyze::AnalysisOptions screen_options;
+            screen_options.cone_state_cap = 0;
+            const analyze::Analysis analysis =
+                analyze::analyze_protocol(protocol, screen_options);
+            if (analysis.consensus_refuted[1]) {
+                ++outcome.static_refuted;
+                return;
+            }
+        }
         const Verifier verifier(protocol, reach);
         // Phase 1 (optional): cheap randomized falsification.  Sound — a
         // refuted candidate's exact infer_threshold is guaranteed nullopt

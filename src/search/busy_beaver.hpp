@@ -45,6 +45,16 @@ struct SearchOptions {
     /// verification was the bottleneck.
     bool screen = false;
     ScreeningOptions screening;
+    /// Zero-simulation pre-screen (the StaticScreen stage): run the static
+    /// analyzer (analyze/analyze.hpp) on each canonical candidate before
+    /// any simulation or reachability work, and drop candidates whose
+    /// acceptance is statically refuted — every output-1 state proven
+    /// unreachable by a linear-invariant or interaction-closure
+    /// certificate.  Sound: such a candidate's every reachable
+    /// configuration has consensus 0, so its exact infer_threshold is
+    /// guaranteed nullopt and verdicts/histogram/witness are identical to
+    /// an unscreened run (asserted in tests/analyze_test.cpp).
+    bool static_screen = false;
 };
 
 struct SearchOutcome {
@@ -53,6 +63,7 @@ struct SearchOutcome {
     std::uint64_t canonical = 0;           ///< survivors of symmetry reduction
     std::uint64_t threshold_protocols = 0; ///< verified threshold behaviours
     std::uint64_t budget_skipped = 0;      ///< skipped on verification budget
+    std::uint64_t static_refuted = 0;      ///< refuted by static analysis (no simulation)
     std::uint64_t screened_out = 0;        ///< refuted by simulation screening
     AgentCount best_eta = 0;               ///< empirical BB(n)
     std::string best_protocol_text;        ///< description of a witness

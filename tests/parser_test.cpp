@@ -83,6 +83,62 @@ TEST(ProtocolParser, EmptyFileFailsCleanly) {
     EXPECT_THROW(parse_protocol(""), std::invalid_argument);
 }
 
+TEST(ProtocolParser, ConflictingRedefinitionIsTypedError) {
+    // Same pre-pair, different post-pair, plain `trans`: a typo, not a
+    // nondeterministic protocol — typed error carrying both line numbers.
+    const char* text =
+        "state a 0\nstate b 1\ninput x -> a\ntrans a a -> b b\ntrans a a -> a b\n";
+    try {
+        parse_protocol(text);
+        FAIL() << "expected DuplicateRuleError";
+    } catch (const DuplicateRuleError& e) {
+        EXPECT_EQ(e.line(), 5u);
+        EXPECT_EQ(e.previous_line(), 4u);
+        EXPECT_NE(std::string(e.what()).find("conflicting redefinition"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ProtocolParser, ConflictDetectionCanonicalisesPairOrder) {
+    // `trans b a` and `trans a b` name the same unordered pre-pair.
+    EXPECT_THROW(
+        parse_protocol(
+            "state a 0\nstate b 1\ninput x -> a\ntrans a b -> b b\ntrans b a -> a a\n"),
+        DuplicateRuleError);
+}
+
+TEST(ProtocolParser, IdenticalDuplicateIsWarningNotError) {
+    std::vector<ParseWarning> warnings;
+    const Protocol p = parse_protocol(
+        "state a 0\nstate b 1\ninput x -> a\ntrans a a -> b b\ntrans a a -> b b\n", &warnings);
+    EXPECT_EQ(p.num_transitions(), 1u);  // builder merges the duplicate
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_EQ(warnings[0].line, 5u);
+    EXPECT_NE(warnings[0].message.find("duplicate rule"), std::string::npos)
+        << warnings[0].message;
+    // Unordered-post duplicate (b a vs a b) is the same rule too.
+    warnings.clear();
+    parse_protocol("state a 0\nstate b 1\ninput x -> a\ntrans a a -> a b\ntrans a a -> b a\n",
+                   &warnings);
+    EXPECT_EQ(warnings.size(), 1u);
+}
+
+TEST(ProtocolParser, TransPlusDeclaresNondeterminism) {
+    // Explicit nondeterministic extension parses to two rules on the pair…
+    const Protocol p = parse_protocol(
+        "state a 0\nstate b 1\ninput x -> a\ntrans a a -> a b\ntrans+ a a -> b b\n");
+    EXPECT_EQ(p.num_transitions(), 2u);
+    EXPECT_EQ(p.rules_for_pair(0, 0).size(), 2u);
+    // …and round-trips: the serialiser emits trans+ for the second rule.
+    const std::string text = format_protocol(p);
+    EXPECT_NE(text.find("trans+"), std::string::npos) << text;
+    EXPECT_EQ(format_protocol(parse_protocol(text)), text);
+    // trans+ with no prior rule for the pair is an error.
+    EXPECT_THROW(
+        parse_protocol("state a 0\nstate b 1\ninput x -> a\ntrans+ a a -> b b\n"),
+        std::invalid_argument);
+}
+
 TEST(ProtocolFamilies, EveryRegisteredFamilyBuildsAndRoundTrips) {
     // The registry is the source of the tool's help text; each listed name
     // must build from its documented example parameters, serialise, and

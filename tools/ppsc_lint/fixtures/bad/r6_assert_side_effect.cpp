@@ -1,0 +1,23 @@
+// Fixture: side-effecting expressions inside assertion macros.  Every one
+// of these mutates state iff the assertion is compiled in, so behaviour
+// diverges between debug and NDEBUG builds.
+// ppsc-lint: pretend(src/sim/assert_effects.cpp)
+#include <cassert>
+#include <cstddef>
+
+#include "support/check.hpp"
+
+void violations(int* counter, std::size_t n) {
+    std::size_t budget = n;
+    int mask = 0;
+    assert((*counter)++ < 100);                        // expect(R6)
+    assert(--budget > 0);                              // expect(R6)
+    PPSC_DASSERT(budget -= 1);                         // expect(R6)
+    PPSC_CHECK(mask |= 2);                             // expect(R6)
+    PPSC_CHECK_MSG(mask <<= 1, "shifted");             // expect(R6)
+    assert((mask = 3) != 0);                           // expect(R6)
+    // Multi-line argument lists are tracked across the break.
+    PPSC_CHECK(budget > 0 &&
+               budget-- < n);                          // expect(R6)
+    (void)mask;
+}

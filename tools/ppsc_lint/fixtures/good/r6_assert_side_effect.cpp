@@ -1,0 +1,36 @@
+// Fixture: assertion patterns R6 must NOT flag — comparisons, hoisted
+// mutations, operators outside any assertion, lambda default captures,
+// and a suppressed intentional mutation.
+// ppsc-lint: pretend(src/sim/assert_clean.cpp)
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "support/check.hpp"
+
+void clean(std::vector<int>& values, std::size_t n) {
+    // Comparison operators sharing characters with assignments are fine.
+    assert(values.size() <= n);
+    PPSC_CHECK(n >= 1);
+    PPSC_DASSERT(!values.empty() && values.front() != -1);
+    PPSC_CHECK_MSG(values.size() == n || n == 0, "size mismatch");
+    // Hoist the mutation, then assert on the result.
+    const std::size_t next = n - 1;
+    assert(next < n);
+    // Mutations outside assertions are none of R6's business.
+    std::size_t budget = n;
+    --budget;
+    budget += 2;
+    values[0] = static_cast<int>(budget);
+    // Lambda default capture inside an assertion is not a mutation.
+    assert(std::all_of(values.begin(), values.end(), [=](int v) { return v <= static_cast<int>(n); }));
+    // Multi-line argument lists with pure contents stay clean.
+    PPSC_CHECK(budget > 0 &&
+               budget <= n + 2);
+    // Intentional side effect, audited and suppressed.
+    int probes = 0;
+    // ppsc-lint: allow(R6) probe counter exists only to be mutated here; both builds tolerate either value
+    assert(++probes > 0);
+    (void)probes;
+}

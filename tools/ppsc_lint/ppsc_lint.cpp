@@ -46,6 +46,17 @@
 //                           consumption and reports a typed error) or under
 //                           a suppression.  Every CLI/file input must be
 //                           validated, never silently coerced to 0.
+//   R6 pure-assert          No side-effecting expressions (++/--, compound
+//                           assignment, plain assignment) inside the
+//                           argument list of assert / PPSC_DASSERT /
+//                           PPSC_CHECK / PPSC_CHECK_MSG.  assert and
+//                           PPSC_DASSERT compile out under NDEBUG, and the
+//                           PPSC_CHECK family is contractually side-effect
+//                           free (support/check.hpp), so a mutation inside
+//                           any of them makes program behaviour depend on
+//                           the build mode — the exact class of divergence
+//                           this tool exists to prevent.  Arguments are
+//                           tracked across line breaks.
 //
 // Suppressions: `// ppsc-lint: allow(R2) <reason>` on the finding line or
 // the line directly above suppresses that one rule there.  The reason is
@@ -407,6 +418,12 @@ FileReport lint_file(const std::string& display_path, const std::vector<Line>& l
     int parser_until_depth = -1;
     bool parser_pending = false;
 
+    // R6 state: paren depth inside an assertion macro's argument list (0 =
+    // not inside one) and the macro's name, carried across physical lines so
+    // multi-line assertions are fully scanned.
+    int assert_depth = 0;
+    std::string assert_macro;
+
     const auto suppressed = [&](std::size_t line_index, const std::string& rule) {
         // Same line or the line directly above.
         if (parse_suppression(lines[line_index].comment).rules.count(rule)) return true;
@@ -617,6 +634,95 @@ FileReport lint_file(const std::string& display_path, const std::vector<Line>& l
                         "be fully validated (end pointer / full-token / typed error)");
             }
         }
+
+        // --- R6: side effects inside assertion arguments ----------------
+        // Single left-to-right scan: outside an assertion, jump to the next
+        // assertion-macro call; inside one, track paren depth (so nested
+        // calls and commas are handled) and flag mutating operators until
+        // the argument list closes.  `assert_depth`/`assert_macro` persist
+        // across lines, so multi-line argument lists stay covered.
+        {
+            static const std::vector<std::string> kAssertMacros = {
+                "assert", "PPSC_DASSERT", "PPSC_CHECK", "PPSC_CHECK_MSG"};
+            std::size_t i = 0;
+            while (i < code.size()) {
+                if (assert_depth == 0) {
+                    // Earliest assertion call at or after i (token followed,
+                    // modulo spaces, by an opening paren — `#define
+                    // PPSC_CHECK(cond)` also matches, harmlessly: its
+                    // parameter list contains no operators).
+                    std::size_t best = std::string_view::npos;
+                    std::size_t best_open = 0;
+                    std::string which;
+                    for (const std::string& macro : kAssertMacros) {
+                        const std::size_t pos = find_token(code, macro, i);
+                        if (pos == std::string_view::npos || pos >= best) continue;
+                        std::size_t after = pos + macro.size();
+                        while (after < code.size() && code[after] == ' ') ++after;
+                        if (after >= code.size() || code[after] != '(') continue;
+                        best = pos;
+                        best_open = after;
+                        which = macro;
+                    }
+                    if (best == std::string_view::npos) break;
+                    assert_macro = which;
+                    assert_depth = 1;
+                    i = best_open + 1;
+                    continue;
+                }
+                const char c = code[i];
+                const char n1 = i + 1 < code.size() ? code[i + 1] : '\0';
+                const char n2 = i + 2 < code.size() ? code[i + 2] : '\0';
+                const char p = i > 0 ? code[i - 1] : '\0';
+                if (c == '(') {
+                    ++assert_depth;
+                    ++i;
+                    continue;
+                }
+                if (c == ')') {
+                    if (--assert_depth == 0) assert_macro.clear();
+                    ++i;
+                    continue;
+                }
+                const auto hit = [&](const std::string& what) {
+                    add(li, "R6", "error",
+                        "side-effecting `" + what + "` inside " + assert_macro +
+                            "() — assert/PPSC_DASSERT vanish under NDEBUG and the "
+                            "PPSC_CHECK family is contractually side-effect free; hoist "
+                            "the mutation out of the assertion");
+                };
+                if (c == '+' && n1 == '+') {
+                    hit("++");
+                    i += 2;
+                    continue;
+                }
+                if (c == '-' && n1 == '-') {
+                    hit("--");
+                    i += 2;
+                    continue;
+                }
+                if ((c == '<' && n1 == '<' && n2 == '=') ||
+                    (c == '>' && n1 == '>' && n2 == '=')) {
+                    hit(std::string{c, n1, '='});
+                    i += 3;
+                    continue;
+                }
+                if (std::string_view("+-*/%&|^").find(c) != std::string_view::npos &&
+                    n1 == '=') {
+                    hit(std::string{c, '='});
+                    i += 2;
+                    continue;
+                }
+                if (c == '=' && n1 != '=' &&
+                    std::string_view("=!<>+-*/%&|^").find(p) == std::string_view::npos &&
+                    // Lambda default-capture ([=] / [=, &x]) is not a
+                    // mutation of program state.
+                    p != '[' && n1 != ']') {
+                    hit("=");
+                }
+                ++i;
+            }
+        }
     }
     return report;
 }
@@ -766,7 +872,7 @@ int main(int argc, char** argv) {
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: ppsc_lint [--self-test [--fixtures DIR]] [path...]\n"
                          "Lints .cpp/.hpp files (recursing into directories) against the\n"
-                         "ppsc determinism rules R1-R5.  Exit 1 iff findings exist.\n";
+                         "ppsc determinism rules R1-R6.  Exit 1 iff findings exist.\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "ppsc_lint: unknown flag " << arg << "\n";
